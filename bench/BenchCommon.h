@@ -1,0 +1,53 @@
+//===- bench/BenchCommon.h - Shared benchmark harness helpers --*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small shared pieces for the per-figure/per-table benchmark binaries:
+/// a `--full` flag for paper-scale inputs (defaults are scaled down to
+/// finish in seconds), and percentage/normalization formatting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_BENCH_BENCHCOMMON_H
+#define CCL_BENCH_BENCHCOMMON_H
+
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace ccl::bench {
+
+/// True if `--full` was passed: run paper-scale inputs.
+inline bool fullScale(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--full") == 0)
+      return true;
+  return false;
+}
+
+inline void printHeader(const char *Title, const char *PaperRef,
+                        bool Full) {
+  std::printf("\n=== %s ===\n", Title);
+  std::printf("Reproduces: %s\n", PaperRef);
+  std::printf("Scale: %s (pass --full for paper-scale inputs)\n\n",
+              Full ? "FULL (paper-scale)" : "default (scaled down)");
+}
+
+/// "87.3%" style normalized-time cell (Base = 100).
+inline std::string pct(double Value, double Base) {
+  return TablePrinter::fmt(100.0 * Value / Base, 1) + "%";
+}
+
+/// "1.42x" style speedup cell.
+inline std::string speedupStr(double Base, double Value) {
+  return TablePrinter::fmt(Base / Value, 2) + "x";
+}
+
+} // namespace ccl::bench
+
+#endif // CCL_BENCH_BENCHCOMMON_H

@@ -1,0 +1,106 @@
+//===- bench/ablation_cache_params.cpp - Cache-geometry ablation -------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// Sweep of cache geometry (capacity, associativity) for the C-tree vs
+// random-layout speedup, with the Section 5 model prediction alongside.
+// Exercises the model's claim that the framework applies across cache
+// configurations <c, b, a>: larger caches and higher associativity grow
+// the conflict-free hot region (Rs = log2(p*k*a + 1)), shrinking the
+// remaining advantage headroom as more of the tree becomes resident.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "model/CTreeModel.h"
+#include "sim/AccessPolicy.h"
+#include "support/Random.h"
+#include "trees/BinaryTree.h"
+#include "trees/CTree.h"
+
+#include <cinttypes>
+
+using namespace ccl;
+using namespace ccl::trees;
+
+namespace {
+
+template <typename TreeT>
+uint64_t steadyCycles(const TreeT &Tree, uint64_t NumKeys, unsigned Warmup,
+                      unsigned Window, const sim::HierarchyConfig &Config) {
+  sim::MemoryHierarchy M(Config);
+  sim::SimAccess A(M);
+  Xoshiro256 Rng(0xCAC4EULL);
+  for (unsigned I = 0; I < Warmup; ++I)
+    Tree.search(BinarySearchTree::keyAt(Rng.nextBounded(NumKeys)), A);
+  uint64_t Start = M.now();
+  for (unsigned I = 0; I < Window; ++I)
+    Tree.search(BinarySearchTree::keyAt(Rng.nextBounded(NumKeys)), A);
+  return M.now() - Start;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Full = bench::fullScale(Argc, Argv);
+  bench::printHeader("Ablation: cache geometry sweep (capacity, "
+                     "associativity)",
+                     "Chilimbi/Hill/Larus PLDI'99, Section 5 model across "
+                     "<c, b, a>",
+                     Full);
+
+  const uint64_t NumKeys = Full ? (1ULL << 21) - 1 : (1ULL << 19) - 1;
+  unsigned Warmup = 4000;
+  unsigned Window = Full ? 25000 : 10000;
+  model::MemoryTimings Timings = model::MemoryTimings::ultraSparcE5000();
+
+  auto Random = BinarySearchTree::build(NumKeys, LayoutScheme::Random);
+  auto Source = BinarySearchTree::build(NumKeys, LayoutScheme::Random);
+
+  struct Geometry {
+    uint64_t CapacityKB;
+    uint32_t Assoc;
+  };
+  std::vector<Geometry> Geometries = {
+      {256, 1}, {512, 1}, {1024, 1}, {1024, 2}, {1024, 4}, {2048, 1}};
+
+  std::printf("tree: %" PRIu64 " keys (%.1f MB)\n\n", NumKeys,
+              NumKeys * sizeof(BstNode) / 1048576.0);
+
+  TablePrinter Table({"L2", "assoc", "measured speedup",
+                      "predicted speedup", "model Rs", "cc miss rate"});
+  for (const Geometry &G : Geometries) {
+    sim::HierarchyConfig Config;
+    Config.L1 = {16 * 1024, 16, 1, 1};
+    Config.L2 = {G.CapacityKB * 1024, 64, G.Assoc, 6};
+    Config.MemoryLatency = 64;
+    Config.Tlb = {true, 64, 8192, 40};
+    CacheParams Params = CacheParams::fromHierarchy(Config);
+
+    CTree Tree(Params);
+    Tree.adopt(Source.root());
+    uint64_t RandomCycles =
+        steadyCycles(Random, NumKeys, Warmup, Window, Config);
+    uint64_t CtreeCycles =
+        steadyCycles(Tree, NumKeys, Warmup, Window, Config);
+
+    uint64_t K = std::max<uint64_t>(1, Params.BlockBytes / sizeof(BstNode));
+    model::CTreeModel Model(NumKeys, Params, K);
+    Table.addRow({TablePrinter::fmtInt(G.CapacityKB) + " KB",
+                  TablePrinter::fmtInt(G.Assoc),
+                  bench::speedupStr(double(RandomCycles),
+                                    double(CtreeCycles)),
+                  TablePrinter::fmt(Model.predictedSpeedup(Timings), 2) +
+                      "x",
+                  TablePrinter::fmt(Model.reuseRs(), 2),
+                  TablePrinter::fmt(Model.ccMissRate(), 3)});
+  }
+  Table.print();
+  std::printf("\nShape to check: Rs grows with capacity and log2(assoc); "
+              "the naive layout also improves with\nbigger caches, so the "
+              "measured gap can close faster than the worst-case-naive "
+              "prediction.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+//===- bench/ablation_subtree_size.cpp - §2.1 clustering ablation ------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation of the clustering scheme and the cluster size k. Section 2.1
+// derives that a subtree of k nodes clustered in a block yields
+// log2(k+1) expected accesses per block under random search, vs < 2 for
+// a depth-first chain of k nodes — an advantage for k > 3. To sweep k
+// beyond 2 with 24-byte nodes, this ablation uses a 256-byte-block L2
+// variant in addition to the standard 64/128-byte configurations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "model/CTreeModel.h"
+#include "sim/AccessPolicy.h"
+#include "support/Random.h"
+#include "trees/BinaryTree.h"
+#include "trees/CTree.h"
+
+#include <cinttypes>
+#include <cmath>
+
+using namespace ccl;
+using namespace ccl::trees;
+
+namespace {
+
+uint64_t steadyCycles(const CTree &Tree, uint64_t NumKeys, unsigned Warmup,
+                      unsigned Window, const sim::HierarchyConfig &Config) {
+  sim::MemoryHierarchy M(Config);
+  sim::SimAccess A(M);
+  Xoshiro256 Rng(0xAB1A7EULL);
+  for (unsigned I = 0; I < Warmup; ++I)
+    Tree.search(BinarySearchTree::keyAt(Rng.nextBounded(NumKeys)), A);
+  uint64_t Start = M.now();
+  for (unsigned I = 0; I < Window; ++I)
+    Tree.search(BinarySearchTree::keyAt(Rng.nextBounded(NumKeys)), A);
+  return M.now() - Start;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Full = bench::fullScale(Argc, Argv);
+  bench::printHeader("Ablation: subtree cluster size k and clustering "
+                     "scheme",
+                     "Chilimbi/Hill/Larus PLDI'99, §2.1 analysis", Full);
+
+  // A 1MB L2 with 256-byte blocks: up to k = 10 nodes per block.
+  sim::HierarchyConfig Config;
+  Config.L1 = {16 * 1024, 16, 1, 1};
+  Config.L2 = {1024 * 1024, 256, 1, 6};
+  Config.MemoryLatency = 64;
+  Config.Tlb = {true, 64, 8192, 40};
+  CacheParams Params = CacheParams::fromHierarchy(Config);
+
+  const uint64_t NumKeys = Full ? (1ULL << 21) - 1 : (1ULL << 19) - 1;
+  unsigned Warmup = 3000;
+  unsigned Window = Full ? 30000 : 12000;
+
+  std::printf("tree: %" PRIu64 " keys; L2 blocks of %u bytes hold up to "
+              "%zu nodes\n\n",
+              NumKeys, Config.L2.BlockBytes,
+              size_t(Config.L2.BlockBytes / sizeof(BstNode)));
+
+  TablePrinter Table({"k", "subtree cycles", "depth-first cycles",
+                      "subtree gain", "model K=log2(k+1)",
+                      "model chain K"});
+  auto Source = BinarySearchTree::build(NumKeys, LayoutScheme::Random);
+  for (uint64_t K : {1, 2, 3, 5, 8, 10}) {
+    MorphOptions Subtree;
+    Subtree.Scheme = LayoutScheme::Subtree;
+    Subtree.NodesPerBlock = size_t(K);
+    CTree SubtreeTree(Params);
+    SubtreeTree.adopt(Source.root(), Subtree);
+    uint64_t SubtreeCycles =
+        steadyCycles(SubtreeTree, NumKeys, Warmup, Window, Config);
+
+    MorphOptions Chain;
+    Chain.Scheme = LayoutScheme::DepthFirst;
+    Chain.NodesPerBlock = size_t(K);
+    CTree ChainTree(Params);
+    ChainTree.adopt(Source.root(), Chain);
+    uint64_t ChainCycles =
+        steadyCycles(ChainTree, NumKeys, Warmup, Window, Config);
+
+    // §2.1: expected in-block accesses for a k-chain is
+    // 2*(1 - (1/2)^k) < 2; for a subtree it is log2(k+1).
+    double ChainK = 2.0 * (1.0 - std::pow(0.5, double(K)));
+    Table.addRow({TablePrinter::fmtInt(K),
+                  TablePrinter::fmtInt(SubtreeCycles),
+                  TablePrinter::fmtInt(ChainCycles),
+                  bench::speedupStr(double(ChainCycles),
+                                    double(SubtreeCycles)),
+                  TablePrinter::fmt(std::log2(double(K) + 1.0), 2),
+                  TablePrinter::fmt(ChainK, 2)});
+  }
+  Table.print();
+  std::printf("\nPaper shape to check: subtree clustering pulls ahead of "
+              "depth-first chains as k grows past 3\n(both colored here; "
+              "the separation is the spatial-locality K difference).\n");
+  return 0;
+}

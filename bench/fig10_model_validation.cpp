@@ -1,0 +1,139 @@
+//===- bench/fig10_model_validation.cpp - Paper Figure 10 --------------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 10: "Predicted and actual speedup for C-trees" — the Section 5
+// analytic model's predicted cache-conscious speedup vs the measured
+// speedup, across tree sizes 262,144 .. 4,194,304 keys (1M repeated
+// searches in the paper; steady-state window here). The paper reports
+// the model underestimating actual speedup by ~15% while matching the
+// curve shape.
+//
+// "Actual" here is the simulated cycle ratio of a randomly-laid-out tree
+// to a transparent C-tree on the E5000 memory model (the paper measured
+// wall time on the real E5000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "model/CTreeModel.h"
+#include "sim/AccessPolicy.h"
+#include "support/Random.h"
+#include "trees/BinaryTree.h"
+#include "trees/CTree.h"
+#include "trees/CompactTree.h"
+
+#include <cinttypes>
+#include <vector>
+
+using namespace ccl;
+using namespace ccl::trees;
+
+namespace {
+
+/// Warm the cache, then measure a steady-state search window.
+template <typename SearchFn>
+uint64_t steadyCycles(uint64_t NumKeys, unsigned Warmup, unsigned Window,
+                      const sim::HierarchyConfig &Config, SearchFn &&Search) {
+  sim::MemoryHierarchy M(Config);
+  sim::SimAccess A(M);
+  Xoshiro256 Rng(0xF1'0A11ULL);
+  for (unsigned I = 0; I < Warmup; ++I)
+    Search(BinarySearchTree::keyAt(Rng.nextBounded(NumKeys)), A);
+  uint64_t Start = M.now();
+  for (unsigned I = 0; I < Window; ++I)
+    Search(BinarySearchTree::keyAt(Rng.nextBounded(NumKeys)), A);
+  return M.now() - Start;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Full = bench::fullScale(Argc, Argv);
+  bench::printHeader("Figure 10: predicted vs actual C-tree speedup",
+                     "Chilimbi/Hill/Larus PLDI'99, Fig. 10 + Section 5.4",
+                     Full);
+
+  sim::HierarchyConfig Config = sim::HierarchyConfig::ultraSparcE5000();
+  // The model does not capture TLB effects (the paper names this as one
+  // reason it underestimates actual speedup); keep the TLB on so the
+  // measurement, like the paper's, includes them.
+  CacheParams Params = CacheParams::fromHierarchy(Config);
+  model::MemoryTimings Timings = model::MemoryTimings::ultraSparcE5000();
+
+  std::vector<unsigned> Bits = {18, 19, 20};
+  if (Full) {
+    Bits.push_back(21);
+    Bits.push_back(22); // Paper's 4,194,304-key point.
+  }
+  unsigned Warmup = 4000;
+  unsigned Window = Full ? 40000 : 15000;
+
+  uint64_t NodesPerBlock =
+      std::max<uint64_t>(1, Params.BlockBytes / sizeof(BstNode));
+  std::printf("subtree cluster size k = %" PRIu64
+              " (paper used k=3 with 20-byte SPARC-32 nodes; 64-bit "
+              "pointers make our node 24 bytes)\n\n",
+              NodesPerBlock);
+
+  TablePrinter Table({"tree keys", "D=log2(n+1)", "Rs(k=2)",
+                      "predicted k=2", "measured k=2", "predicted k=4",
+                      "measured k=4 (compact)"});
+  for (unsigned B : Bits) {
+    uint64_t NumKeys = (1ULL << B) - 1;
+    auto Random = BinarySearchTree::build(NumKeys, LayoutScheme::Random);
+    CTree Ctree(Params);
+    {
+      auto Source = BinarySearchTree::build(NumKeys, LayoutScheme::Random);
+      Ctree.adopt(Source.root());
+    }
+
+    uint64_t RandomCycles = steadyCycles(
+        NumKeys, Warmup, Window, Config,
+        [&](uint32_t Key, auto &A) { Random.search(Key, A); });
+    uint64_t CtreeCycles = steadyCycles(
+        NumKeys, Warmup, Window, Config,
+        [&](uint32_t Key, auto &A) { Ctree.search(Key, A); });
+    double Measured = double(RandomCycles) / double(CtreeCycles);
+
+    model::CTreeModel Model(NumKeys, Params, NodesPerBlock);
+    double Predicted = Model.predictedSpeedup(Timings);
+
+    // The paper's SPARC-32 regime (k = 3 there; k = 4 with our 16-byte
+    // compact nodes).
+    CompactTree CRandom = CompactTree::build(NumKeys, Params,
+                                             LayoutScheme::Random, false);
+    CompactTree CCtree = CompactTree::build(NumKeys, Params,
+                                            LayoutScheme::Subtree, true);
+    uint64_t CRandomCycles = steadyCycles(
+        NumKeys, Warmup, Window, Config,
+        [&](uint32_t Key, auto &A) { CRandom.contains(Key, A); });
+    uint64_t CCtreeCycles = steadyCycles(
+        NumKeys, Warmup, Window, Config,
+        [&](uint32_t Key, auto &A) { CCtree.contains(Key, A); });
+    double CMeasured = double(CRandomCycles) / double(CCtreeCycles);
+    model::CTreeModel CModel(
+        NumKeys, Params,
+        std::max<uint64_t>(1, Params.BlockBytes / sizeof(CompactBstNode)));
+
+    Table.addRow({TablePrinter::fmtInt(NumKeys),
+                  TablePrinter::fmt(Model.accessFunctionD(), 2),
+                  TablePrinter::fmt(Model.reuseRs(), 2),
+                  TablePrinter::fmt(Predicted, 2) + "x",
+                  TablePrinter::fmt(Measured, 2) + "x",
+                  TablePrinter::fmt(CModel.predictedSpeedup(Timings), 2) +
+                      "x",
+                  TablePrinter::fmt(CMeasured, 2) + "x"});
+  }
+  Table.print();
+  std::printf("\nPaper shape to check: both curves decline as the tree "
+              "outgrows the colored hot region.\nThe closed form assumes "
+              "a worst-case naive layout (L2 miss rate 1); the simulated "
+              "naive tree\nkeeps its frequently-touched top levels "
+              "resident, so the prediction overshoots here where the\n"
+              "paper's real-machine baseline (heavier TLB and memory "
+              "system penalties) made it undershoot by ~15%%.\n");
+  return 0;
+}

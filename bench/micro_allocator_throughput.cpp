@@ -1,0 +1,108 @@
+//===- bench/micro_allocator_throughput.cpp - Allocator microbench -----------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks for the allocator itself: §3.2 notes
+// that "a heap allocator is invoked many more times than a data
+// reorganizer, so it must use techniques that incur low overhead." This
+// binary measures the native cost of the plain path, the three ccmalloc
+// strategies, deallocation, and a ccmorph pass per node.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CcAllocator.h"
+#include "core/CcMorph.h"
+#include "trees/BinaryTree.h"
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+using namespace ccl;
+
+namespace {
+
+void BM_PlainMalloc(benchmark::State &State) {
+  CcAllocator Alloc;
+  std::vector<void *> Ptrs;
+  Ptrs.reserve(1 << 16);
+  for (auto _ : State) {
+    void *P = Alloc.ccmalloc(24);
+    benchmark::DoNotOptimize(P);
+    Ptrs.push_back(P);
+    if (Ptrs.size() == (1 << 16)) {
+      State.PauseTiming();
+      for (void *Q : Ptrs)
+        Alloc.ccfree(Q);
+      Ptrs.clear();
+      State.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_PlainMalloc);
+
+template <heap::CcStrategy Strategy>
+void BM_CcMallocNear(benchmark::State &State) {
+  CcAllocator Alloc(CacheParams(), Strategy);
+  std::vector<void *> Ptrs;
+  Ptrs.reserve(1 << 16);
+  void *Near = Alloc.ccmalloc(24);
+  for (auto _ : State) {
+    void *P = Alloc.ccmalloc(24, Near);
+    benchmark::DoNotOptimize(P);
+    Ptrs.push_back(P);
+    Near = P;
+    if (Ptrs.size() == (1 << 16)) {
+      State.PauseTiming();
+      for (void *Q : Ptrs)
+        Alloc.ccfree(Q);
+      Ptrs.clear();
+      Near = Alloc.ccmalloc(24);
+      State.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_CcMallocNear<heap::CcStrategy::Closest>)
+    ->Name("BM_CcMallocNear/closest");
+BENCHMARK(BM_CcMallocNear<heap::CcStrategy::NewBlock>)
+    ->Name("BM_CcMallocNear/new-block");
+BENCHMARK(BM_CcMallocNear<heap::CcStrategy::FirstFit>)
+    ->Name("BM_CcMallocNear/first-fit");
+
+void BM_AllocFreePair(benchmark::State &State) {
+  CcAllocator Alloc;
+  for (auto _ : State) {
+    void *P = Alloc.ccmalloc(40);
+    benchmark::DoNotOptimize(P);
+    Alloc.ccfree(P);
+  }
+}
+BENCHMARK(BM_AllocFreePair);
+
+void BM_SystemMallocBaseline(benchmark::State &State) {
+  for (auto _ : State) {
+    void *P = std::malloc(40);
+    benchmark::DoNotOptimize(P);
+    std::free(P);
+  }
+}
+BENCHMARK(BM_SystemMallocBaseline);
+
+/// Cost of one full ccmorph reorganization, reported per node.
+void BM_CcMorphPerNode(benchmark::State &State) {
+  const uint64_t N = uint64_t(State.range(0));
+  auto Tree = trees::BinarySearchTree::build(N, LayoutScheme::Random);
+  CacheParams Params;
+  for (auto _ : State) {
+    CcMorph<trees::BstNode, trees::BstAdapter> Morph(Params);
+    benchmark::DoNotOptimize(Morph.reorganize(Tree.root()));
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(N));
+}
+BENCHMARK(BM_CcMorphPerNode)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+} // namespace
+
+BENCHMARK_MAIN();

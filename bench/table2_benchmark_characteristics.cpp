@@ -1,0 +1,91 @@
+//===- bench/table2_benchmark_characteristics.cpp - Paper Table 2 ------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// Table 2: "Benchmark characteristics" — the four Olden benchmarks, the
+// pointer structures they build, their inputs, and measured memory
+// allocated. Paper values: treeadd (binary tree, 256K nodes, 4MB),
+// health (doubly linked lists, level 3 / time 3000, 828KB), mst (array
+// of singly linked lists, 512 nodes, 12KB), perimeter (quadtree, 4Kx4K
+// image, 64MB — with 32-bit pointers and a different node layout).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "olden/Health.h"
+#include "olden/Mst.h"
+#include "olden/Perimeter.h"
+#include "olden/TreeAdd.h"
+
+using namespace ccl;
+using namespace ccl::olden;
+
+namespace {
+
+std::string formatBytes(uint64_t Bytes) {
+  if (Bytes >= 1048576)
+    return TablePrinter::fmt(double(Bytes) / 1048576.0, 1) + " MB";
+  return TablePrinter::fmtInt(Bytes / 1024) + " KB";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Full = bench::fullScale(Argc, Argv);
+  bench::printHeader("Table 2: Olden benchmark characteristics",
+                     "Chilimbi/Hill/Larus PLDI'99, Table 2", Full);
+
+  TablePrinter Table({"name", "description", "main pointer structures",
+                      "input data set", "memory allocated", "paper"});
+
+  {
+    TreeAddConfig C;
+    C.Levels = 18;
+    C.Iterations = 1;
+    BenchResult R = runTreeAdd(C, Variant::Base, nullptr);
+    Table.addRow({"treeadd", "sums the values stored in tree nodes",
+                  "binary tree",
+                  TablePrinter::fmtInt((1u << C.Levels) - 1) + " nodes",
+                  formatBytes(R.HeapFootprintBytes), "4 MB"});
+  }
+  {
+    HealthConfig C;
+    C.MaxLevel = 3;
+    C.Steps = Full ? 3000 : 1000;
+    BenchResult R = runHealth(C, Variant::Base, nullptr);
+    Table.addRow({"health", "simulation of Colombian health-care system",
+                  "doubly linked lists",
+                  "max level 3, max time " + TablePrinter::fmtInt(C.Steps),
+                  formatBytes(R.HeapFootprintBytes), "828 KB"});
+  }
+  {
+    MstConfig C;
+    C.NumVertices = 512;
+    C.Degree = 8;
+    BenchResult R = runMst(C, Variant::Base, nullptr);
+    Table.addRow({"mst", "computes minimum spanning tree of a graph",
+                  "array of singly linked lists (chained hash)",
+                  TablePrinter::fmtInt(C.NumVertices) + " nodes",
+                  formatBytes(R.HeapFootprintBytes), "12 KB"});
+  }
+  {
+    PerimeterConfig C;
+    C.Levels = Full ? 12 : 11;
+    BenchResult R = runPerimeter(C, Variant::Base, nullptr);
+    Table.addRow({"perimeter", "computes perimeter of regions in images",
+                  "quadtree",
+                  TablePrinter::fmtInt(1u << C.Levels) + " x " +
+                      TablePrinter::fmtInt(1u << C.Levels) + " image",
+                  formatBytes(R.HeapFootprintBytes), "64 MB"});
+  }
+  Table.print();
+  std::printf("\nNotes: our nodes use 64-bit pointers (the paper's SPARC "
+              "binaries used 32-bit), and our quadtree\nstores only tree "
+              "nodes (the paper's 64MB includes its image "
+              "representation), so absolute footprints differ;\nthe "
+              "structures and traversals are the ones that matter for "
+              "the placement experiments.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+//===- examples/bdd_queens.cpp - ccmalloc inside a BDD package ---------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// The VIS-style scenario (paper §4.3): symbolic N-queens with the BDD
+// package, whose node allocations flow through ccmalloc. BDDs are DAGs,
+// so ccmorph cannot be used — this is precisely the case the paper built
+// ccmalloc for. Compares the plain heap against the hinted allocator on
+// the cache simulator.
+//
+// Build & run:  ./build/examples/bdd_queens [N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "bdd/Bdd.h"
+#include "bdd/BddWorkloads.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ccl;
+
+int main(int Argc, char **Argv) {
+  unsigned N = Argc > 1 ? static_cast<unsigned>(std::atoi(Argv[1])) : 7;
+  if (N < 1 || N > 8) {
+    std::fprintf(stderr, "N must be 1..8\n");
+    return 1;
+  }
+
+  sim::HierarchyConfig Config = sim::HierarchyConfig::ultraSparcE5000();
+  std::printf("%u-queens as a BDD over %u variables\n\n", N, N * N);
+
+  TablePrinter Table({"allocator", "sim cycles", "L2 misses", "BDD nodes",
+                      "solutions"});
+  uint64_t BaseCycles = 0;
+  for (bool UseHints : {false, true}) {
+    sim::MemoryHierarchy Hierarchy(Config);
+    CcAllocator Alloc(CacheParams::fromHierarchy(Config),
+                      heap::CcStrategy::NewBlock);
+    bdd::BddManager Mgr(N * N, Alloc, &Hierarchy, UseHints);
+    bdd::BddNode *Queens = bdd::buildNQueens(Mgr, N);
+    double Solutions = Mgr.satCount(Queens);
+    bdd::evalRandom(Mgr, Queens, 100000, 7);
+
+    uint64_t Cycles = Hierarchy.stats().totalCycles();
+    if (!UseHints)
+      BaseCycles = Cycles;
+    (void)BaseCycles;
+    Table.addRow({UseHints ? "ccmalloc (hint = low child)" : "plain heap",
+                  TablePrinter::fmtInt(Cycles),
+                  TablePrinter::fmtInt(Hierarchy.stats().L2Misses),
+                  TablePrinter::fmtInt(Mgr.uniqueNodes()),
+                  TablePrinter::fmt(Solutions, 0)});
+  }
+  Table.print();
+  std::printf("\nNote: on a *fresh* heap, creation order already places "
+              "related nodes together, so the gain is\nsmall; see "
+              "bench/fig6_macrobenchmarks for the aged-heap experiment "
+              "where ccmalloc recovers the\nlocality a long-running "
+              "process has lost.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+//===- examples/raytrace_scene.cpp - Octree layout for ray casting -----------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// The RADIANCE-style scenario (paper §4.3): an implicit octree over a
+// sphere scene, ray-cast under the three layouts — construction order,
+// subtree clustering, clustering + coloring — with simulated cycle
+// counts and native wall time side by side.
+//
+// Build & run:  ./build/examples/raytrace_scene [spheres] [rays]
+//
+//===----------------------------------------------------------------------===//
+
+#include "raytrace/Raytrace.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ccl;
+using namespace ccl::raytrace;
+
+int main(int Argc, char **Argv) {
+  RaytraceConfig Config;
+  Config.NumSpheres = Argc > 1
+                          ? static_cast<unsigned>(std::atoi(Argv[1]))
+                          : 50000;
+  Config.NumRays =
+      Argc > 2 ? static_cast<unsigned>(std::atoi(Argv[2])) : 50000;
+  Config.MaxDepth = 9;
+  Config.LeafCapacity = 6;
+
+  sim::HierarchyConfig Sim = sim::HierarchyConfig::ultraSparcE5000();
+
+  std::printf("scene: %u spheres, %u rays\n\n", Config.NumSpheres,
+              Config.NumRays);
+
+  TablePrinter Table({"layout", "sim cycles", "L2 misses", "native ms",
+                      "hits"});
+  uint64_t BaseChecksum = 0;
+  for (RtLayout Layout :
+       {RtLayout::Base, RtLayout::Cluster, RtLayout::ClusterColor}) {
+    RtResult SimResult = runRaytrace(Config, Layout, &Sim);
+    RtResult Native = runRaytrace(Config, Layout, nullptr);
+    if (Layout == RtLayout::Base)
+      BaseChecksum = SimResult.Checksum;
+    if (SimResult.Checksum != BaseChecksum) {
+      std::fprintf(stderr, "layout changed the image — bug!\n");
+      return 1;
+    }
+    Table.addRow({rtLayoutName(Layout),
+                  TablePrinter::fmtInt(SimResult.Stats.totalCycles()),
+                  TablePrinter::fmtInt(SimResult.Stats.L2Misses),
+                  TablePrinter::fmt(Native.NativeSeconds * 1000, 1),
+                  TablePrinter::fmtInt(SimResult.Checksum >> 32)});
+  }
+  Table.print();
+  std::printf("\nAll three layouts produce the identical image "
+              "(placement is semantically transparent).\n");
+  return 0;
+}

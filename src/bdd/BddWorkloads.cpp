@@ -1,0 +1,112 @@
+//===- bdd/BddWorkloads.cpp - Verification-style BDD workloads --------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bdd/BddWorkloads.h"
+
+#include "support/Random.h"
+
+#include <vector>
+
+using namespace ccl;
+using namespace ccl::bdd;
+
+BddNode *ccl::bdd::buildNQueens(BddManager &Manager, unsigned N) {
+  assert(Manager.numVars() >= N * N && "manager needs N*N variables");
+  auto VarAt = [&](unsigned Row, unsigned Col) {
+    return Manager.var(Row * N + Col);
+  };
+
+  BddNode *All = Manager.one();
+  for (unsigned Row = 0; Row < N; ++Row) {
+    // At least one queen in the row.
+    BddNode *RowAny = Manager.zero();
+    for (unsigned Col = 0; Col < N; ++Col)
+      RowAny = Manager.bddOr(RowAny, VarAt(Row, Col));
+    All = Manager.bddAnd(All, RowAny);
+
+    // Conflicts: same column, same diagonal, same row.
+    for (unsigned Col = 0; Col < N; ++Col) {
+      BddNode *Here = VarAt(Row, Col);
+      for (unsigned Row2 = Row + 1; Row2 < N; ++Row2) {
+        unsigned Delta = Row2 - Row;
+        // Column attack.
+        All = Manager.bddAnd(
+            All, Manager.bddOr(Manager.bddNot(Here),
+                               Manager.bddNot(VarAt(Row2, Col))));
+        // Diagonal attacks.
+        if (Col + Delta < N)
+          All = Manager.bddAnd(
+              All, Manager.bddOr(Manager.bddNot(Here),
+                                 Manager.bddNot(VarAt(Row2, Col + Delta))));
+        if (Col >= Delta)
+          All = Manager.bddAnd(
+              All, Manager.bddOr(Manager.bddNot(Here),
+                                 Manager.bddNot(VarAt(Row2, Col - Delta))));
+      }
+      // Same-row attack.
+      for (unsigned Col2 = Col + 1; Col2 < N; ++Col2)
+        All = Manager.bddAnd(
+            All, Manager.bddOr(Manager.bddNot(Here),
+                               Manager.bddNot(VarAt(Row, Col2))));
+    }
+  }
+  return All;
+}
+
+BddNode *ccl::bdd::buildAdderEquivalence(BddManager &Manager,
+                                         unsigned Bits) {
+  assert(Manager.numVars() >= 2 * Bits && "manager needs 2*Bits variables");
+  // Interleaved variable order a0 b0 a1 b1 ... keeps adder BDDs linear.
+  auto A = [&](unsigned I) { return Manager.var(2 * I); };
+  auto B = [&](unsigned I) { return Manager.var(2 * I + 1); };
+
+  // Implementation 1: ripple-carry.
+  std::vector<BddNode *> Sum1(Bits);
+  BddNode *Carry = Manager.zero();
+  for (unsigned I = 0; I < Bits; ++I) {
+    BddNode *X = Manager.bddXor(A(I), B(I));
+    Sum1[I] = Manager.bddXor(X, Carry);
+    Carry = Manager.bddOr(Manager.bddAnd(A(I), B(I)),
+                          Manager.bddAnd(X, Carry));
+  }
+
+  // Implementation 2: carry computed by lookahead expansion
+  // c_{i+1} = g_i | (p_i & c_i) unrolled from generate/propagate terms.
+  std::vector<BddNode *> Sum2(Bits);
+  std::vector<BddNode *> Gen(Bits);
+  std::vector<BddNode *> Prop(Bits);
+  for (unsigned I = 0; I < Bits; ++I) {
+    Gen[I] = Manager.bddAnd(A(I), B(I));
+    Prop[I] = Manager.bddXor(A(I), B(I));
+  }
+  BddNode *C = Manager.zero();
+  for (unsigned I = 0; I < Bits; ++I) {
+    Sum2[I] = Manager.bddXor(Prop[I], C);
+    // Expand the lookahead term instead of chaining the carry variable.
+    BddNode *Next = Gen[I];
+    BddNode *PathProduct = Prop[I];
+    for (int J = static_cast<int>(I) - 1; J >= 0; --J) {
+      Next = Manager.bddOr(Next, Manager.bddAnd(PathProduct, Gen[J]));
+      PathProduct = Manager.bddAnd(PathProduct, Prop[J]);
+    }
+    C = Next;
+  }
+
+  // Miter: OR of per-bit XORs; zero iff equivalent.
+  BddNode *Miter = Manager.zero();
+  for (unsigned I = 0; I < Bits; ++I)
+    Miter = Manager.bddOr(Miter, Manager.bddXor(Sum1[I], Sum2[I]));
+  return Miter;
+}
+
+uint64_t ccl::bdd::evalRandom(BddManager &Manager, BddNode *F,
+                              uint64_t Count, uint64_t Seed) {
+  Xoshiro256 Rng(Seed);
+  uint64_t TrueCount = 0;
+  for (uint64_t I = 0; I < Count; ++I)
+    TrueCount += Manager.eval(F, Rng.next()) ? 1 : 0;
+  return TrueCount;
+}

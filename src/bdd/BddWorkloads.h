@@ -1,0 +1,43 @@
+//===- bdd/BddWorkloads.h - Verification-style BDD workloads ---*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Workload builders exercising the BDD package the way VIS exercises
+/// its BDDs (paper §4.3): symbolic construction of combinational
+/// functions, an equivalence check between two structurally different
+/// adder implementations, the N-queens constraint function, plus a
+/// random-evaluation traversal phase.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_BDD_BDDWORKLOADS_H
+#define CCL_BDD_BDDWORKLOADS_H
+
+#include "bdd/Bdd.h"
+
+#include <cstdint>
+
+namespace ccl::bdd {
+
+/// Builds the N-queens solution-set BDD over N*N board variables.
+/// \returns the constraint function; satCount gives the number of
+/// solutions (92 for N = 8).
+BddNode *buildNQueens(BddManager &Manager, unsigned N);
+
+/// Builds XOR-of-outputs between a ripple-carry adder and a
+/// carry-lookahead-style expansion over two \p Bits -bit inputs (the
+/// manager needs 2*Bits variables). The result is the zero BDD iff the
+/// implementations agree — a miniature combinational equivalence check.
+BddNode *buildAdderEquivalence(BddManager &Manager, unsigned Bits);
+
+/// Runs \p Count random evaluations of \p F; returns the number of true
+/// results (pure pointer-path traversals, the post-construction phase).
+uint64_t evalRandom(BddManager &Manager, BddNode *F, uint64_t Count,
+                    uint64_t Seed);
+
+} // namespace ccl::bdd
+
+#endif // CCL_BDD_BDDWORKLOADS_H

@@ -1,0 +1,85 @@
+//===- core/CacheParams.h - User-facing cache parameters -------*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cache description that a programmer hands to ccmorph/ccmalloc —
+/// the `Cache_sets, Cache_associativity, Cache_blk_size, Color_const`
+/// arguments of the paper's Figure 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_CORE_CACHEPARAMS_H
+#define CCL_CORE_CACHEPARAMS_H
+
+#include "sim/CacheConfig.h"
+#include "support/Align.h"
+
+#include <cstdint>
+
+namespace ccl {
+
+/// Parameters of the target cache level (normally L2) plus the coloring
+/// constant. Mirrors the paper's `<c, b, a>` cache configuration with
+/// `p` hot sets (`Color_const`).
+struct CacheParams {
+  /// Number of cache sets (the paper's `c`).
+  uint64_t CacheSets = 4096;
+  /// Cache associativity (the paper's `a`).
+  uint32_t Associativity = 1;
+  /// Cache block size in bytes (the paper's `b`).
+  uint32_t BlockBytes = 64;
+  /// Virtual-memory page size; coloring gaps are kept page-multiple.
+  uint32_t PageBytes = 8192;
+  /// Number of sets reserved for frequently-accessed elements (the
+  /// paper's `p` / `Color_const`). Defaults to half the cache (the
+  /// division used in Section 5.3).
+  uint64_t HotSets = 2048;
+
+  /// Total cache capacity in bytes: c * a * b.
+  uint64_t capacityBytes() const {
+    return CacheSets * Associativity * BlockBytes;
+  }
+
+  /// Bytes of structure data that can live in the hot region without any
+  /// conflicts: p * a * b.
+  uint64_t hotCapacityBytes() const {
+    return HotSets * Associativity * BlockBytes;
+  }
+
+  /// The cache set an address maps to.
+  uint64_t setOf(uint64_t Addr) const {
+    return (Addr / BlockBytes) % CacheSets;
+  }
+
+  bool isValid() const {
+    return CacheSets > 0 && isPowerOf2(CacheSets) &&
+           isPowerOf2(BlockBytes) && isPowerOf2(PageBytes) &&
+           HotSets <= CacheSets;
+  }
+
+  /// Derives parameters from a simulator cache level, defaulting the hot
+  /// region to half the sets.
+  static CacheParams fromCache(const sim::CacheConfig &Cache,
+                               uint32_t PageBytes = 8192) {
+    CacheParams Params;
+    Params.CacheSets = Cache.numSets();
+    Params.Associativity = Cache.Associativity;
+    Params.BlockBytes = Cache.BlockBytes;
+    Params.PageBytes = PageBytes;
+    Params.HotSets = Params.CacheSets / 2;
+    return Params;
+  }
+
+  /// Parameters for the L2 of a hierarchy (the level ccmalloc targets,
+  /// §3.2.1).
+  static CacheParams fromHierarchy(const sim::HierarchyConfig &Config) {
+    return fromCache(Config.L2, Config.Tlb.PageBytes);
+  }
+};
+
+} // namespace ccl
+
+#endif // CCL_CORE_CACHEPARAMS_H

@@ -1,0 +1,22 @@
+//===- core/CcAllocator.cpp - The ccmalloc interface -----------------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CcAllocator.h"
+
+using namespace ccl;
+
+CcAllocator &ccl::defaultAllocator() {
+  // Function-local static: initialized on first use, avoiding a global
+  // static constructor.
+  static CcAllocator Allocator;
+  return Allocator;
+}
+
+void *ccl::ccmalloc(size_t Size, const void *Near) {
+  return defaultAllocator().ccmalloc(Size, Near);
+}
+
+void ccl::ccfree(void *Ptr) { defaultAllocator().ccfree(Ptr); }

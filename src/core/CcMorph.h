@@ -1,0 +1,400 @@
+//===- core/CcMorph.h - Transparent tree reorganizer -----------*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's `ccmorph` (§3.1.1): a transparent, semantics-preserving
+/// reorganizer for tree-like structures. Given a root, a way to traverse
+/// the structure, and the cache parameters, it copies the structure into
+/// a contiguous area, packing subtrees into cache blocks (clustering,
+/// §2.1) and mapping the first `p` sets' worth of elements near the root
+/// into a unique, conflict-free region of the cache (coloring, §2.2).
+///
+/// The paper's `next_node` function (Figure 3) corresponds to an adapter
+/// type here:
+///
+/// \code
+///   struct QuadAdapter {
+///     static constexpr unsigned MaxKids = 4;
+///     static constexpr bool HasParent = true;
+///     Quadtree *getKid(Quadtree *N, unsigned I) const { ... }
+///     void setKid(Quadtree *N, unsigned I, Quadtree *Kid) const { ... }
+///     Quadtree *getParent(Quadtree *N) const { return N->Parent; }
+///     void setParent(Quadtree *N, Quadtree *P) const { N->Parent = P; }
+///   };
+///
+///   CcMorph<Quadtree, QuadAdapter> Morph(CacheParams::fromHierarchy(C));
+///   Root = Morph.reorganize(Root);
+/// \endcode
+///
+/// Requirements (paper §3.1.1): homogeneous elements, no external
+/// pointers into the middle of the structure, and the programmer
+/// guarantees the move is safe. Lists are unary trees; chained hash
+/// tables are forests (use reorganizeForest).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_CORE_CCMORPH_H
+#define CCL_CORE_CCMORPH_H
+
+#include "core/ColoredArena.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+namespace ccl {
+
+/// How nodes are grouped into cache blocks.
+enum class LayoutScheme {
+  /// Pack subtrees into cache blocks (the paper's technique, §2.1).
+  Subtree,
+  /// Pack consecutive depth-first (preorder) nodes into blocks — the
+  /// comparison layout of §2.1 whose expected block reuse is < 2.
+  DepthFirst,
+  /// Pack consecutive breadth-first nodes into blocks.
+  Bfs,
+  /// Pack a random permutation of nodes into blocks (no locality); the
+  /// "randomly clustered" baseline of Figure 5.
+  Random,
+};
+
+/// Returns a short human-readable scheme name.
+inline const char *layoutSchemeName(LayoutScheme Scheme) {
+  switch (Scheme) {
+  case LayoutScheme::Subtree:
+    return "subtree";
+  case LayoutScheme::DepthFirst:
+    return "depth-first";
+  case LayoutScheme::Bfs:
+    return "bfs";
+  case LayoutScheme::Random:
+    return "random";
+  }
+  return "unknown";
+}
+
+/// Options controlling one reorganization.
+struct MorphOptions {
+  LayoutScheme Scheme = LayoutScheme::Subtree;
+  /// Apply coloring: the first clusters (nearest the root) are placed in
+  /// the hot region until its conflict-free capacity is exhausted.
+  bool Color = true;
+  /// Nodes packed per cache block; 0 = BlockBytes / sizeof(Node).
+  size_t NodesPerBlock = 0;
+  /// Seed for LayoutScheme::Random.
+  uint64_t Seed = 0x5eedULL;
+  /// Rewrite parent pointers too (requires Adapter::HasParent).
+  bool UpdateParents = false;
+};
+
+/// Statistics from the last reorganization.
+struct MorphStats {
+  uint64_t NodeCount = 0;
+  uint64_t ClusterCount = 0;
+  uint64_t HotNodes = 0;
+  uint64_t ColdNodes = 0;
+  size_t NodesPerBlock = 0;
+  uint64_t ArenaFrames = 0;
+};
+
+/// Transparent cache-conscious structure reorganizer.
+///
+/// The CcMorph object owns the memory of the reorganized structure; keep
+/// it alive as long as the structure is in use. Calling reorganize()
+/// again re-copies the (possibly mutated) structure into a fresh colored
+/// arena and releases the previous one — the paper's "periodically
+/// invoked" usage for slowly changing structures.
+template <typename Node, typename Adapter> class CcMorph {
+  static_assert(std::is_trivially_copyable_v<Node>,
+                "ccmorph copies nodes with memcpy; Node must be trivially "
+                "copyable (a C-style struct)");
+
+public:
+  explicit CcMorph(const CacheParams &Params, Adapter A = Adapter())
+      : Params(Params), A(A) {}
+
+  /// Reorganizes the tree rooted at \p Root; returns the new root.
+  Node *reorganize(Node *Root, const MorphOptions &Options = MorphOptions()) {
+    std::vector<Node *> Roots{Root};
+    return reorganizeForest(Roots, Options)[0];
+  }
+
+  /// An access profile: per-node touch counts gathered by the program
+  /// (the paper's §7 future work — profiling instead of topology).
+  using Profile = std::unordered_map<const Node *, uint64_t>;
+
+  /// Profile-guided reorganization: clusters are still formed from the
+  /// structure's topology, but hot-region capacity goes to the clusters
+  /// with the highest measured per-byte access counts instead of the
+  /// ones nearest the root. With skewed (non-uniform) access patterns
+  /// this colors the actually-hot paths.
+  Node *reorganizeProfiled(Node *Root, const Profile &Counts,
+                           const MorphOptions &Options = MorphOptions()) {
+    std::vector<Node *> Roots{Root};
+    return reorganizeForest(Roots, Options, &Counts)[0];
+  }
+
+  /// Reorganizes a forest (e.g. every chain of a hash table) into one
+  /// shared colored arena; returns the new roots in order. Hot-region
+  /// capacity is granted to clusters in discovery order across the whole
+  /// forest, or by measured heat when \p Counts is supplied.
+  std::vector<Node *>
+  reorganizeForest(const std::vector<Node *> &Roots,
+                   const MorphOptions &Options = MorphOptions(),
+                   const Profile *Counts = nullptr) {
+    Stats = MorphStats();
+    Stats.NodesPerBlock = Options.NodesPerBlock
+                              ? Options.NodesPerBlock
+                              : std::max<size_t>(
+                                    1, Params.BlockBytes / sizeof(Node));
+
+    // A fresh arena each time so re-morphing an already-morphed tree is
+    // safe: the old arena is released only after the copy completes.
+    CacheParams ArenaParams = Params;
+    if (!Options.Color)
+      ArenaParams.HotSets = 0; // Cold region spans whole frames: plain
+                               // contiguous placement, no gaps.
+    auto Fresh = std::make_unique<ColoredArena>(ArenaParams);
+
+    std::vector<std::vector<Node *>> Clusters = formClusters(Roots, Options);
+    Stats.ClusterCount = Clusters.size();
+
+    // Decide which clusters are hot. Default: discovery order (nearest
+    // the roots first). Profiled: rank clusters by measured accesses per
+    // byte and grant the budget to the heaviest ones.
+    uint64_t HotBudget = Options.Color ? Params.hotCapacityBytes() : 0;
+    std::vector<bool> HotFlag(Clusters.size(), false);
+    if (Counts && Options.Color) {
+      std::vector<std::pair<double, size_t>> Ranked;
+      Ranked.reserve(Clusters.size());
+      for (size_t I = 0; I < Clusters.size(); ++I) {
+        uint64_t Weight = 0;
+        for (const Node *N : Clusters[I]) {
+          auto It = Counts->find(N);
+          if (It != Counts->end())
+            Weight += It->second;
+        }
+        Ranked.push_back({double(Weight) / double(Clusters[I].size()), I});
+      }
+      std::sort(Ranked.begin(), Ranked.end(),
+                [](const auto &A, const auto &B) {
+                  return A.first > B.first ||
+                         (A.first == B.first && A.second < B.second);
+                });
+      uint64_t Budget = HotBudget;
+      for (const auto &[Weight, Index] : Ranked) {
+        uint64_t Footprint = alignUp(
+            Clusters[Index].size() * sizeof(Node), Params.BlockBytes);
+        if (Weight <= 0.0 || Budget < Footprint)
+          continue;
+        Budget -= Footprint;
+        HotFlag[Index] = true;
+      }
+    }
+
+    std::unordered_map<const Node *, Node *> Remap;
+    Remap.reserve(Stats.NodeCount);
+
+    for (size_t ClusterIdx = 0; ClusterIdx < Clusters.size(); ++ClusterIdx) {
+      const auto &Cluster = Clusters[ClusterIdx];
+      size_t Bytes = Cluster.size() * sizeof(Node);
+      // Budget by the block-aligned footprint: a cluster occupies a whole
+      // block in the hot region regardless of slack.
+      uint64_t Footprint = alignUp(Bytes, Params.BlockBytes);
+      bool Hot;
+      if (Counts && Options.Color) {
+        Hot = HotFlag[ClusterIdx];
+      } else {
+        Hot = HotBudget >= Footprint;
+      }
+      char *Memory;
+      // Clusters are packed: small clusters share a block, but no
+      // cluster ever straddles a block boundary.
+      if (Hot) {
+        Memory = static_cast<char *>(
+            Fresh->allocateHot(Bytes, alignof(Node), Params.BlockBytes));
+        HotBudget -= Footprint;
+        Stats.HotNodes += Cluster.size();
+      } else {
+        Memory = static_cast<char *>(
+            Fresh->allocateCold(Bytes, alignof(Node), Params.BlockBytes));
+        Stats.ColdNodes += Cluster.size();
+      }
+      for (size_t I = 0; I < Cluster.size(); ++I) {
+        Node *NewNode = reinterpret_cast<Node *>(Memory + I * sizeof(Node));
+        std::memcpy(static_cast<void *>(NewNode),
+                    static_cast<const void *>(Cluster[I]), sizeof(Node));
+        bool Inserted = Remap.emplace(Cluster[I], NewNode).second;
+        assert(Inserted && "node reachable twice: ccmorph requires a tree, "
+                           "not a DAG (paper §3.1.1)");
+        (void)Inserted;
+      }
+    }
+
+    // Second pass: rewrite child (and optionally parent) pointers. The
+    // new node's pointer fields still hold old addresses from the copy.
+    for (const auto &[Old, NewNode] : Remap) {
+      (void)Old;
+      for (unsigned I = 0; I < Adapter::MaxKids; ++I) {
+        Node *Kid = A.getKid(NewNode, I);
+        if (!Kid)
+          continue;
+        auto It = Remap.find(Kid);
+        assert(It != Remap.end() && "child outside the traversed forest");
+        A.setKid(NewNode, I, It->second);
+      }
+      if constexpr (Adapter::HasParent) {
+        if (Options.UpdateParents) {
+          Node *Parent = A.getParent(NewNode);
+          if (Parent) {
+            auto It = Remap.find(Parent);
+            assert(It != Remap.end() && "parent outside the forest");
+            A.setParent(NewNode, It->second);
+          }
+        }
+      }
+    }
+
+    std::vector<Node *> NewRoots;
+    NewRoots.reserve(Roots.size());
+    for (Node *Root : Roots)
+      NewRoots.push_back(Root ? Remap.at(Root) : nullptr);
+
+    Current = std::move(Fresh);
+    Stats.ArenaFrames = Current->framesAllocated();
+    return NewRoots;
+  }
+
+  const MorphStats &stats() const { return Stats; }
+  const ColoredArena *arena() const { return Current.get(); }
+  const CacheParams &params() const { return Params; }
+
+private:
+  /// Groups the forest's nodes into clusters of at most NodesPerBlock,
+  /// ordered root-outward so early clusters are the hot ones.
+  std::vector<std::vector<Node *>>
+  formClusters(const std::vector<Node *> &Roots,
+               const MorphOptions &Options) {
+    std::vector<std::vector<Node *>> Clusters;
+    switch (Options.Scheme) {
+    case LayoutScheme::Subtree:
+      formSubtreeClusters(Roots, Stats.NodesPerBlock, Clusters);
+      break;
+    case LayoutScheme::DepthFirst: {
+      std::vector<Node *> Order;
+      for (Node *Root : Roots)
+        depthFirstOrder(Root, Order);
+      chunk(Order, Stats.NodesPerBlock, Clusters);
+      break;
+    }
+    case LayoutScheme::Bfs: {
+      std::vector<Node *> Order;
+      for (Node *Root : Roots)
+        breadthFirstOrder(Root, Order);
+      chunk(Order, Stats.NodesPerBlock, Clusters);
+      break;
+    }
+    case LayoutScheme::Random: {
+      std::vector<Node *> Order;
+      for (Node *Root : Roots)
+        breadthFirstOrder(Root, Order);
+      Xoshiro256 Rng(Options.Seed);
+      Rng.shuffle(Order);
+      chunk(Order, Stats.NodesPerBlock, Clusters);
+      break;
+    }
+    }
+    return Clusters;
+  }
+
+  /// Subtree clustering (§2.1, Figure 1): each cluster root absorbs its
+  /// subtree in breadth-first order until the cluster holds K nodes; the
+  /// children that did not fit become roots of subsequent clusters.
+  /// Clusters themselves are discovered breadth-first from the tree root
+  /// so hot-region assignment follows root distance.
+  void formSubtreeClusters(const std::vector<Node *> &Roots, size_t K,
+                           std::vector<std::vector<Node *>> &Clusters) {
+    std::deque<Node *> ClusterRoots;
+    for (Node *Root : Roots)
+      if (Root)
+        ClusterRoots.push_back(Root);
+
+    while (!ClusterRoots.empty()) {
+      Node *Top = ClusterRoots.front();
+      ClusterRoots.pop_front();
+
+      std::vector<Node *> Cluster;
+      Cluster.reserve(K);
+      std::deque<Node *> Frontier{Top};
+      while (!Frontier.empty() && Cluster.size() < K) {
+        Node *N = Frontier.front();
+        Frontier.pop_front();
+        Cluster.push_back(N);
+        ++Stats.NodeCount;
+        for (unsigned I = 0; I < Adapter::MaxKids; ++I)
+          if (Node *Kid = A.getKid(N, I))
+            Frontier.push_back(Kid);
+      }
+      // Whatever is left on the frontier starts new clusters.
+      for (Node *Kid : Frontier)
+        ClusterRoots.push_back(Kid);
+      Clusters.push_back(std::move(Cluster));
+    }
+  }
+
+  void depthFirstOrder(Node *Root, std::vector<Node *> &Order) {
+    if (!Root)
+      return;
+    std::vector<Node *> Stack{Root};
+    while (!Stack.empty()) {
+      Node *N = Stack.back();
+      Stack.pop_back();
+      Order.push_back(N);
+      ++Stats.NodeCount;
+      // Push kids in reverse so kid 0 is visited first (preorder).
+      for (unsigned I = Adapter::MaxKids; I > 0; --I)
+        if (Node *Kid = A.getKid(N, I - 1))
+          Stack.push_back(Kid);
+    }
+  }
+
+  void breadthFirstOrder(Node *Root, std::vector<Node *> &Order) {
+    if (!Root)
+      return;
+    std::deque<Node *> Queue{Root};
+    while (!Queue.empty()) {
+      Node *N = Queue.front();
+      Queue.pop_front();
+      Order.push_back(N);
+      ++Stats.NodeCount;
+      for (unsigned I = 0; I < Adapter::MaxKids; ++I)
+        if (Node *Kid = A.getKid(N, I))
+          Queue.push_back(Kid);
+    }
+  }
+
+  static void chunk(const std::vector<Node *> &Order, size_t K,
+                    std::vector<std::vector<Node *>> &Clusters) {
+    for (size_t Begin = 0; Begin < Order.size(); Begin += K) {
+      size_t End = std::min(Begin + K, Order.size());
+      Clusters.emplace_back(Order.begin() + Begin, Order.begin() + End);
+    }
+  }
+
+  CacheParams Params;
+  Adapter A;
+  std::unique_ptr<ColoredArena> Current;
+  MorphStats Stats;
+};
+
+} // namespace ccl
+
+#endif // CCL_CORE_CCMORPH_H

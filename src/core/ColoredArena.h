@@ -1,0 +1,98 @@
+//===- core/ColoredArena.h - Cache-colored address allocation --*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the paper's coloring technique (§2.2, Figure 2) by address
+/// arithmetic: the virtual address space is carved into cache-capacity
+/// "frames" aligned to the cache size, so the offset within a frame
+/// determines the cache set. Bytes mapping to sets [0, p) are *hot*
+/// slots; the remainder are *cold*. Hot allocations therefore can only
+/// conflict with other hot data (and an `a`-way cache absorbs `a` frames
+/// of hot data with no conflicts at all), and cold allocations can never
+/// evict them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_CORE_COLOREDARENA_H
+#define CCL_CORE_COLOREDARENA_H
+
+#include "core/CacheParams.h"
+#include "support/Arena.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ccl {
+
+/// Bump allocator over colored frames.
+///
+/// Allocations never straddle the hot/cold boundary or a frame boundary;
+/// the resulting gaps are address-space only — on demand-paged systems
+/// untouched gap pages are never committed, which is why the paper keeps
+/// gaps page-multiple (`hotBytesPerFrame()` reports whether the chosen
+/// `p` satisfies that).
+class ColoredArena {
+public:
+  explicit ColoredArena(const CacheParams &Params);
+
+  /// Allocates in the hot region (sets [0, HotSets)).
+  /// If \p NoCrossBytes is nonzero, the allocation is placed so it never
+  /// straddles a NoCrossBytes boundary (advancing to the next boundary
+  /// if needed) — used by ccmorph to pack small clusters into cache
+  /// blocks without ever splitting a cluster across two blocks.
+  void *allocateHot(size_t Bytes, size_t Align = 8,
+                    uint64_t NoCrossBytes = 0);
+
+  /// Allocates in the cold region (sets [HotSets, CacheSets)).
+  void *allocateCold(size_t Bytes, size_t Align = 8,
+                     uint64_t NoCrossBytes = 0);
+
+  /// The cache set the given pointer maps to.
+  uint64_t setOf(const void *Ptr) const;
+
+  /// True if the pointer lies in a hot slot of some frame.
+  bool isHot(const void *Ptr) const;
+
+  const CacheParams &params() const { return Params; }
+
+  /// Bytes of hot address space per frame (p * b).
+  uint64_t hotBytesPerFrame() const { return HotBytes; }
+
+  /// True if the coloring gaps are multiples of the VM page size, the
+  /// paper's requirement for not touching gap pages.
+  bool gapsArePageMultiple() const;
+
+  uint64_t framesAllocated() const { return Frames.size(); }
+  uint64_t hotBytesUsed() const { return HotUsed; }
+  uint64_t coldBytesUsed() const { return ColdUsed; }
+
+private:
+  struct Cursor {
+    size_t Frame = 0;
+    uint64_t Offset = 0; // Offset within the frame's region.
+  };
+
+  char *frameAt(size_t Index);
+  void ensureFrame(size_t Index);
+  void *bump(Cursor &C, uint64_t RegionBase, uint64_t RegionSize,
+             size_t Bytes, size_t Align, uint64_t NoCrossBytes,
+             uint64_t &UsedCounter);
+
+  CacheParams Params;
+  uint64_t FrameBytes; // CacheSets * BlockBytes.
+  uint64_t HotBytes;   // HotSets * BlockBytes.
+  Arena Backing;
+  std::vector<char *> Frames;
+  Cursor Hot;
+  Cursor Cold;
+  uint64_t HotUsed = 0;
+  uint64_t ColdUsed = 0;
+};
+
+} // namespace ccl
+
+#endif // CCL_CORE_COLOREDARENA_H

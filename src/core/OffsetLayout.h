@@ -1,0 +1,92 @@
+//===- core/OffsetLayout.h - Colored layout over byte offsets --*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Offset-space layout engine: mirrors ColoredArena's hot/cold frame
+/// cursors, but assigns byte offsets within a single (not yet allocated)
+/// region instead of live memory. Used by the 32-bit-offset structures
+/// (CompactTree, the implicit octree) where child links are offsets from
+/// a region base, so the whole layout must be planned before the region
+/// is materialized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_CORE_OFFSETLAYOUT_H
+#define CCL_CORE_OFFSETLAYOUT_H
+
+#include "core/CacheParams.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ccl {
+
+/// Plans cluster placements with coloring; clusters never straddle a
+/// cache block. Offsets are relative to a region base that the caller
+/// later allocates aligned to the cache frame size.
+class OffsetLayout {
+public:
+  OffsetLayout(const CacheParams &Params, bool Color)
+      : FrameBytes(Params.CacheSets * Params.BlockBytes),
+        HotBytes(Color ? Params.HotSets * Params.BlockBytes : 0),
+        BlockBytes(Params.BlockBytes),
+        HotBudget(Color ? Params.hotCapacityBytes() : 0) {}
+
+  /// Returns the byte offset for a cluster of \p Bytes; sets \p WasHot.
+  uint64_t place(size_t Bytes, bool &WasHot) {
+    uint64_t Footprint = alignUp(Bytes, BlockBytes);
+    WasHot = HotBytes > 0 && HotBudget >= Footprint;
+    if (WasHot)
+      HotBudget -= Footprint;
+    Cursor &C = WasHot ? Hot : Cold;
+    uint64_t RegionBase = WasHot ? 0 : HotBytes;
+    uint64_t RegionSize = WasHot ? HotBytes : FrameBytes - HotBytes;
+    assert(Bytes <= RegionSize && "cluster exceeds colored region");
+
+    for (;;) {
+      uint64_t Offset = C.Frame * FrameBytes + RegionBase + C.Pos;
+      // Never straddle a cache block (larger clusters start on one).
+      if (alignDown(Offset, BlockBytes) !=
+          alignDown(Offset + Bytes - 1, BlockBytes))
+        Offset = alignUp(Offset, BlockBytes);
+      uint64_t NewPos = Offset + Bytes - (C.Frame * FrameBytes + RegionBase);
+      if (NewPos <= RegionSize) {
+        C.Pos = NewPos;
+        End = std::max(End, Offset + Bytes);
+        return Offset;
+      }
+      ++C.Frame;
+      C.Pos = 0;
+    }
+  }
+
+  /// Total region size to allocate (frame-aligned).
+  uint64_t regionBytes() const {
+    return std::max<uint64_t>(alignUp(End, FrameBytes), FrameBytes);
+  }
+
+  /// The required alignment of the region base.
+  uint64_t regionAlign(const CacheParams &Params) const {
+    return std::max<uint64_t>(FrameBytes, Params.PageBytes);
+  }
+
+private:
+  struct Cursor {
+    uint64_t Frame = 0;
+    uint64_t Pos = 0;
+  };
+  uint64_t FrameBytes;
+  uint64_t HotBytes;
+  uint32_t BlockBytes;
+  uint64_t HotBudget;
+  Cursor Hot;
+  Cursor Cold;
+  uint64_t End = 0;
+};
+
+} // namespace ccl
+
+#endif // CCL_CORE_OFFSETLAYOUT_H

@@ -1,0 +1,383 @@
+//===- heap/CcHeap.cpp - Page-structured cache-aware heap ------------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/CcHeap.h"
+
+#include "support/Align.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace ccl;
+using namespace ccl::heap;
+
+static constexpr uint32_t FreedMagic = 0xDEADF9EEu;
+
+const char *ccl::heap::strategyName(CcStrategy Strategy) {
+  switch (Strategy) {
+  case CcStrategy::Closest:
+    return "closest";
+  case CcStrategy::NewBlock:
+    return "new-block";
+  case CcStrategy::FirstFit:
+    return "first-fit";
+  }
+  return "unknown";
+}
+
+CcHeap::CcHeap(HeapConfig ConfigIn) : Config(ConfigIn) {
+  assert(isPowerOf2(Config.PageBytes) && "page size must be a power of two");
+  assert(isPowerOf2(Config.BlockBytes) &&
+         "block size must be a power of two");
+  assert(Config.PageBytes >= Config.BlockBytes &&
+         "page must hold at least one block");
+  assert(Config.PageBytes <= SlabBytes &&
+         "page size exceeds the slab carve size");
+  assert(Config.BlockBytes > HeaderBytes &&
+         "cache block must be larger than the chunk header");
+  BlocksPerPage = Config.PageBytes / Config.BlockBytes;
+}
+
+CcHeap::~CcHeap() {
+  for (void *Slab : Slabs)
+    std::free(Slab);
+}
+
+size_t CcHeap::roundSize(size_t Size) const {
+  if (Size == 0)
+    Size = 1;
+  return alignUp(Size, 8);
+}
+
+CcHeap::PageInfo *CcHeap::newPage() {
+  if (!SlabCursor || SlabCursor + Config.PageBytes > SlabEnd) {
+    void *Slab = std::aligned_alloc(SlabBytes, SlabBytes);
+    if (!Slab) {
+      std::fprintf(stderr, "ccl: heap out of memory\n");
+      std::abort();
+    }
+    Slabs.push_back(Slab);
+    SlabCursor = static_cast<char *>(Slab);
+    SlabEnd = SlabCursor + SlabBytes;
+  }
+  char *Memory = SlabCursor;
+  SlabCursor += Config.PageBytes;
+
+  auto Page = std::make_unique<PageInfo>();
+  Page->Base = Memory;
+  Page->Used.assign(BlocksPerPage, 0);
+  Page->Live.assign(BlocksPerPage, 0);
+  Page->Epoch.assign(BlocksPerPage, 0);
+  PageInfo *Result = Page.get();
+  Pages.emplace(addrOf(Memory), std::move(Page));
+  ++Stats.PagesAllocated;
+  return Result;
+}
+
+CcHeap::PageInfo *CcHeap::findPage(const void *Ptr) const {
+  uint64_t Base = alignDown(addrOf(Ptr), Config.PageBytes);
+  auto It = Pages.find(Base);
+  return It == Pages.end() ? nullptr : It->second.get();
+}
+
+void *CcHeap::carve(PageInfo &Page, uint32_t BlockIdx, size_t Rounded,
+                    size_t Requested) {
+  (void)Requested;
+  size_t Need = HeaderBytes + Rounded;
+  assert(BlockIdx < BlocksPerPage && "block index out of range");
+  assert(Page.Used[BlockIdx] + Need <= Config.BlockBytes &&
+         "carve target block lacks space");
+  char *Chunk =
+      Page.Base + size_t(BlockIdx) * Config.BlockBytes + Page.Used[BlockIdx];
+  Page.Used[BlockIdx] += static_cast<uint16_t>(Need);
+  Page.Live[BlockIdx] += 1;
+
+  auto *Header = reinterpret_cast<ChunkHeader *>(Chunk);
+  Header->Size = static_cast<uint32_t>(Rounded);
+  Header->Magic = HeaderMagic;
+  Stats.BytesLive += Need;
+  return Chunk + HeaderBytes;
+}
+
+void *CcHeap::bumpAllocate(PageInfo *&Cursor, size_t Rounded,
+                           size_t Requested, bool EmptyBlockOnly) {
+  size_t Need = HeaderBytes + Rounded;
+  if (!Cursor)
+    Cursor = newPage();
+  for (;;) {
+    uint32_t Idx = Cursor->ScanHint;
+    while (Idx < BlocksPerPage &&
+           (EmptyBlockOnly ? Cursor->Used[Idx] != 0
+                           : Cursor->Used[Idx] + Need > Config.BlockBytes))
+      ++Idx;
+    if (Idx < BlocksPerPage) {
+      Cursor->ScanHint = Idx;
+      return carve(*Cursor, Idx, Rounded, Requested);
+    }
+    Cursor = newPage();
+  }
+}
+
+void *CcHeap::allocateLarge(size_t Rounded, size_t Requested) {
+  size_t Need = HeaderBytes + Rounded;
+  assert(Need <= Config.PageBytes &&
+         "CcHeap serves chunks up to one page; allocate bulk arrays "
+         "directly");
+  uint32_t BlocksNeeded = static_cast<uint32_t>(
+      (Need + Config.BlockBytes - 1) / Config.BlockBytes);
+
+  // Find a run of fully-empty blocks; take a fresh page if none.
+  PageInfo *Page = PlainCursor ? PlainCursor : newPage();
+  PlainCursor = Page;
+  uint32_t RunStart = 0;
+  uint32_t RunLen = 0;
+  bool Found = false;
+  for (uint32_t Idx = 0; Idx < BlocksPerPage; ++Idx) {
+    if (Page->Used[Idx] == 0) {
+      if (RunLen == 0)
+        RunStart = Idx;
+      if (++RunLen == BlocksNeeded) {
+        Found = true;
+        break;
+      }
+    } else {
+      RunLen = 0;
+    }
+  }
+  if (!Found) {
+    Page = newPage();
+    PlainCursor = Page;
+    RunStart = 0;
+  }
+
+  // The run is marked fully used so no small chunk shares its tail; the
+  // leading block carries the live count for the whole run.
+  char *Chunk = Page->Base + size_t(RunStart) * Config.BlockBytes;
+  for (uint32_t Idx = RunStart; Idx < RunStart + BlocksNeeded; ++Idx)
+    Page->Used[Idx] = static_cast<uint16_t>(Config.BlockBytes);
+  Page->Live[RunStart] = 1;
+
+  auto *Header = reinterpret_cast<ChunkHeader *>(Chunk);
+  Header->Size = static_cast<uint32_t>(Rounded);
+  Header->Magic = HeaderMagic;
+  Stats.BytesLive += Need;
+  (void)Requested;
+  return Chunk + HeaderBytes;
+}
+
+bool CcHeap::chunkValid(const FreeChunk &Chunk) const {
+  const PageInfo *Page = findPage(Chunk.Payload);
+  assert(Page && "free-list chunk outside the heap");
+  uint64_t Offset = addrOf(Chunk.Payload) - HeaderBytes - addrOf(Page->Base);
+  uint32_t BlockIdx = static_cast<uint32_t>(Offset / Config.BlockBytes);
+  return Page->Epoch[BlockIdx] == Chunk.Epoch;
+}
+
+void *CcHeap::popFreeList(size_t Rounded, uint64_t PageFilter) {
+  auto FreeIt = FreeLists.find(Rounded);
+  if (FreeIt == FreeLists.end())
+    return nullptr;
+  std::vector<FreeChunk> &Chunks = FreeIt->second;
+
+  // Drop stale entries (invalidated by block reclamation) off the tail.
+  while (!Chunks.empty() && !chunkValid(Chunks.back()))
+    Chunks.pop_back();
+  if (Chunks.empty())
+    return nullptr;
+
+  size_t Index = Chunks.size() - 1;
+  if (PageFilter != 0) {
+    // Bounded tail scan for a valid chunk on the requested page.
+    size_t Scan = std::min<size_t>(Chunks.size(), 16);
+    bool Found = false;
+    for (size_t I = 0; I < Scan; ++I) {
+      size_t Candidate = Chunks.size() - 1 - I;
+      const FreeChunk &C = Chunks[Candidate];
+      if (alignDown(addrOf(C.Payload), Config.PageBytes) == PageFilter &&
+          chunkValid(C)) {
+        Index = Candidate;
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      return nullptr;
+  }
+
+  void *Payload = Chunks[Index].Payload;
+  Chunks.erase(Chunks.begin() + static_cast<ptrdiff_t>(Index));
+  auto *Header = reinterpret_cast<ChunkHeader *>(
+      static_cast<char *>(Payload) - HeaderBytes);
+  assert(Header->Magic == FreedMagic && "free-list chunk corrupted");
+  Header->Magic = HeaderMagic;
+
+  PageInfo *Page = findPage(Payload);
+  uint32_t BlockIdx = static_cast<uint32_t>(
+      (addrOf(Payload) - HeaderBytes - addrOf(Page->Base)) /
+      Config.BlockBytes);
+  Page->Live[BlockIdx] += 1;
+  Stats.BytesLive += HeaderBytes + Rounded;
+  ++Stats.FreeListReuses;
+  return Payload;
+}
+
+void *CcHeap::allocate(size_t Size) {
+  ++Stats.AllocCalls;
+  size_t Rounded = roundSize(Size);
+  Stats.BytesRequested += Size;
+
+  // Recycle an exact-size chunk if one is free.
+  if (void *Reused = popFreeList(Rounded, /*PageFilter=*/0))
+    return Reused;
+
+  if (HeaderBytes + Rounded > Config.BlockBytes)
+    return allocateLarge(Rounded, Size);
+  return bumpAllocate(PlainCursor, Rounded, Size);
+}
+
+int64_t CcHeap::findBlock(const PageInfo &Page, uint32_t NearBlock,
+                          size_t Rounded, CcStrategy Strategy) const {
+  size_t Need = HeaderBytes + Rounded;
+  auto Fits = [&](uint32_t Idx) {
+    return Page.Used[Idx] + Need <= Config.BlockBytes;
+  };
+
+  switch (Strategy) {
+  case CcStrategy::Closest:
+    for (uint32_t Dist = 1; Dist < BlocksPerPage; ++Dist) {
+      if (NearBlock >= Dist && Fits(NearBlock - Dist))
+        return NearBlock - Dist;
+      if (NearBlock + Dist < BlocksPerPage && Fits(NearBlock + Dist))
+        return NearBlock + Dist;
+    }
+    return -1;
+  case CcStrategy::FirstFit:
+    for (uint32_t Idx = 0; Idx < BlocksPerPage; ++Idx)
+      if (Fits(Idx))
+        return Idx;
+    return -1;
+  case CcStrategy::NewBlock:
+    for (uint32_t Idx = 0; Idx < BlocksPerPage; ++Idx)
+      if (Page.Used[Idx] == 0)
+        return Idx;
+    return -1;
+  }
+  return -1;
+}
+
+void *CcHeap::allocateNear(size_t Size, const void *Near,
+                           CcStrategy Strategy) {
+  PageInfo *Page = Near ? findPage(Near) : nullptr;
+  if (!Page)
+    return allocate(Size); // Null or foreign hint: plain malloc path.
+
+  ++Stats.AllocCalls;
+  ++Stats.NearCalls;
+  size_t Rounded = roundSize(Size);
+  Stats.BytesRequested += Size;
+  if (HeaderBytes + Rounded > Config.BlockBytes)
+    return allocateLarge(Rounded, Size);
+
+  size_t Need = HeaderBytes + Rounded;
+  uint32_t NearBlock = static_cast<uint32_t>(
+      (addrOf(Near) - addrOf(Page->Base)) / Config.BlockBytes);
+
+  // Primary goal: same cache block as the hint.
+  if (Page->Used[NearBlock] + Need <= Config.BlockBytes) {
+    ++Stats.SameBlock;
+    return carve(*Page, NearBlock, Rounded, Size);
+  }
+
+  // Fallback: same page, block chosen by strategy. Same-page placement
+  // keeps the working set small and cannot conflict in the cache with
+  // the hint (paper §3.2.1).
+  int64_t BlockIdx = findBlock(*Page, NearBlock, Rounded, Strategy);
+  if (BlockIdx >= 0) {
+    ++Stats.SamePage;
+    return carve(*Page, static_cast<uint32_t>(BlockIdx), Rounded, Size);
+  }
+
+  // Page full: recycle a freed chunk on the hint's page if one exists
+  // (keeps the working set on the page, the paper's secondary goal);
+  // otherwise spill to the overflow cursor. The spill deliberately does
+  // NOT take a random freed chunk from another page: the object chain
+  // migrates to a fresh page and subsequent hinted allocations co-locate
+  // there again.
+  if (void *Reused = popFreeList(Rounded, addrOf(Page->Base))) {
+    ++Stats.SamePage;
+    return Reused;
+  }
+  ++Stats.PageSpills;
+  // Prefer a whole reclaimed block: the migrating chain gets a fresh
+  // block with room for several future same-block co-locations.
+  while (!FreeBlockPool.empty()) {
+    auto [PoolPage, BlockIdx] = FreeBlockPool.back();
+    FreeBlockPool.pop_back();
+    if (PoolPage->Used[BlockIdx] == 0)
+      return carve(*PoolPage, BlockIdx, Rounded, Size);
+  }
+  return bumpAllocate(SpillCursor, Rounded, Size, /*EmptyBlockOnly=*/true);
+}
+
+void CcHeap::deallocate(void *Ptr) {
+  if (!Ptr)
+    return;
+  auto *Header =
+      reinterpret_cast<ChunkHeader *>(static_cast<char *>(Ptr) - HeaderBytes);
+  assert(Header->Magic == HeaderMagic &&
+         "deallocate: bad chunk (double free or foreign pointer?)");
+  assert(owns(Ptr) && "deallocate: pointer not owned by this heap");
+  PageInfo *Page = findPage(Ptr);
+  size_t Need = HeaderBytes + Header->Size;
+  uint64_t Offset = addrOf(Ptr) - HeaderBytes - addrOf(Page->Base);
+  uint32_t BlockIdx = static_cast<uint32_t>(Offset / Config.BlockBytes);
+
+  Header->Magic = FreedMagic;
+  Stats.BytesLive -= Need;
+  ++Stats.FreeCalls;
+
+  assert(Page->Live[BlockIdx] > 0 && "live count underflow");
+  Page->Live[BlockIdx] -= 1;
+  if (Page->Live[BlockIdx] == 0) {
+    // Whole block (or block run, for large chunks) is dead: reclaim it
+    // and invalidate any free-list entries pointing into it.
+    uint32_t BlocksSpanned = static_cast<uint32_t>(
+        (Need + Config.BlockBytes - 1) / Config.BlockBytes);
+    for (uint32_t Idx = BlockIdx; Idx < BlockIdx + BlocksSpanned; ++Idx) {
+      Page->Used[Idx] = 0;
+      Page->Epoch[Idx] += 1;
+      FreeBlockPool.push_back({Page, Idx});
+    }
+    Page->ScanHint = std::min(Page->ScanHint, BlockIdx);
+    ++Stats.BlocksReclaimed;
+    return;
+  }
+  FreeLists[Header->Size].push_back({Ptr, Page->Epoch[BlockIdx]});
+}
+
+bool CcHeap::owns(const void *Ptr) const {
+  return Ptr && findPage(Ptr) != nullptr;
+}
+
+uint64_t CcHeap::pageOf(const void *Ptr) const {
+  const PageInfo *Page = findPage(Ptr);
+  return Page ? addrOf(Page->Base) : 0;
+}
+
+uint64_t CcHeap::blockOf(const void *Ptr) const {
+  return addrOf(Ptr) / Config.BlockBytes;
+}
+
+size_t CcHeap::sizeOf(const void *Ptr) const {
+  assert(owns(Ptr) && "sizeOf: pointer not owned by this heap");
+  const auto *Header = reinterpret_cast<const ChunkHeader *>(
+      static_cast<const char *>(Ptr) - HeaderBytes);
+  assert(Header->Magic == HeaderMagic && "sizeOf: bad chunk header");
+  return Header->Size;
+}

@@ -1,0 +1,212 @@
+//===- heap/CcHeap.h - Page-structured cache-aware heap --------*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heap substrate beneath ccmalloc. The paper's allocator needs two
+/// capabilities a stock malloc does not expose: (1) placing a new object
+/// in a *specific L2 cache block*, and (2) keeping co-located objects on
+/// the *same virtual-memory page*. CcHeap provides both:
+///
+///  * memory is carved from page-aligned pages (default 8 KB), which are
+///    themselves carved sequentially from large aligned slabs so page
+///    grouping is deterministic;
+///  * each page is divided into cache-block-sized slots (default 64 B,
+///    the paper's L2 block) with per-slot occupancy, live-chunk counts,
+///    and an epoch — when every chunk in a block dies the whole block is
+///    reclaimed for future co-location;
+///  * objects carry an 8-byte header (size + magic) so deallocation needs
+///    no external metadata — this is the "bookkeeping overhead ...
+///    inversely proportional to the size of a cache block" of §3.2.1;
+///  * freed chunks whose block is still partially live are recycled
+///    through segregated exact-size free lists (entries are validated
+///    against the block epoch, so block reclamation invalidates them).
+///
+/// The three placement strategies of §3.2.1 (closest / new-block /
+/// first-fit) are implemented in allocateNear().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_HEAP_CCHEAP_H
+#define CCL_HEAP_CCHEAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace ccl::heap {
+
+/// Placement strategy when the target cache block is full (§3.2.1).
+enum class CcStrategy {
+  /// Allocate as close to the existing block as possible.
+  Closest,
+  /// Allocate in a fully unused cache block, optimistically reserving the
+  /// remainder of the block for future ccmalloc calls.
+  NewBlock,
+  /// First-fit over the page's cache blocks.
+  FirstFit,
+};
+
+/// Returns a short human-readable name ("closest", "new-block", ...).
+const char *strategyName(CcStrategy Strategy);
+
+/// Geometry of the heap.
+struct HeapConfig {
+  /// Virtual-memory page size; pages are aligned to this.
+  uint32_t PageBytes = 8192;
+  /// Co-location granularity: the L2 cache block size.
+  uint32_t BlockBytes = 64;
+};
+
+/// Allocation statistics, including the co-location outcomes that the
+/// evaluation reports (same-block rate, memory overhead).
+struct HeapStats {
+  uint64_t AllocCalls = 0;
+  uint64_t NearCalls = 0;
+  uint64_t FreeCalls = 0;
+  /// Near-allocations placed in the same cache block as the hint.
+  uint64_t SameBlock = 0;
+  /// Near-allocations placed on the hint's page but another block.
+  uint64_t SamePage = 0;
+  /// Near-allocations that spilled to an overflow page.
+  uint64_t PageSpills = 0;
+  uint64_t FreeListReuses = 0;
+  /// Blocks whose chunks all died and were reclaimed wholesale.
+  uint64_t BlocksReclaimed = 0;
+  uint64_t BytesRequested = 0;
+  uint64_t BytesLive = 0;
+  uint64_t PagesAllocated = 0;
+
+  double sameBlockRate() const {
+    return NearCalls == 0 ? 0.0
+                          : static_cast<double>(SameBlock) / NearCalls;
+  }
+};
+
+/// A page-structured heap with cache-block-granular placement.
+///
+/// Not thread-safe: the experiments are single-threaded, matching the
+/// paper's uniprocessor evaluation.
+class CcHeap {
+public:
+  explicit CcHeap(HeapConfig Config = HeapConfig());
+  ~CcHeap();
+
+  CcHeap(const CcHeap &) = delete;
+  CcHeap &operator=(const CcHeap &) = delete;
+
+  /// Plain allocation (the `malloc` path): fills cache blocks of the
+  /// current page sequentially, so consecutive allocations cluster in
+  /// allocation order — the behaviour of a fresh system heap.
+  void *allocate(size_t Size);
+
+  /// Cache-conscious allocation: places the new object in the same L2
+  /// cache block as \p Near if the block has room; otherwise picks a
+  /// block on Near's page per \p Strategy; otherwise recycles a freed
+  /// chunk on that page; otherwise spills to an overflow page. A null or
+  /// foreign \p Near degrades to allocate().
+  void *allocateNear(size_t Size, const void *Near, CcStrategy Strategy);
+
+  /// Returns the chunk to the heap. \p Ptr must come from this heap
+  /// (asserted via the chunk header magic).
+  void deallocate(void *Ptr);
+
+  /// True if \p Ptr points into memory managed by this heap.
+  bool owns(const void *Ptr) const;
+
+  /// Base address of the page containing \p Ptr, or 0 if not owned.
+  uint64_t pageOf(const void *Ptr) const;
+
+  /// Cache-block index (block address) of \p Ptr: Addr / BlockBytes.
+  uint64_t blockOf(const void *Ptr) const;
+
+  /// Payload size recorded for an owned chunk (rounded up to 8 bytes).
+  size_t sizeOf(const void *Ptr) const;
+
+  const HeapConfig &config() const { return Config; }
+  const HeapStats &stats() const { return Stats; }
+
+  /// Total memory reserved from the OS in committed pages (the paper's
+  /// "memory allocated" / overhead metric).
+  uint64_t footprintBytes() const {
+    return Stats.PagesAllocated * Config.PageBytes;
+  }
+
+private:
+  struct PageInfo {
+    char *Base = nullptr;
+    /// Bytes consumed in each cache-block slot (bump within block).
+    std::vector<uint16_t> Used;
+    /// Live chunks per block; when it returns to zero the block is
+    /// reclaimed (Used reset, epoch bumped).
+    std::vector<uint16_t> Live;
+    /// Bumped on reclamation; invalidates stale free-list entries.
+    std::vector<uint32_t> Epoch;
+    /// Scan hint for the sequential bump path.
+    uint32_t ScanHint = 0;
+  };
+
+  struct FreeChunk {
+    void *Payload;
+    uint32_t Epoch;
+  };
+
+  struct ChunkHeader {
+    uint32_t Size;
+    uint32_t Magic;
+  };
+  static constexpr uint32_t HeaderMagic = 0xCCA110C8u;
+  static constexpr size_t HeaderBytes = sizeof(ChunkHeader);
+  /// Pages are carved from slabs this large (and this aligned) so that
+  /// the grouping of pages into cache-capacity regions is deterministic.
+  static constexpr size_t SlabBytes = 1 << 20;
+
+  PageInfo *newPage();
+  PageInfo *findPage(const void *Ptr) const;
+  /// Carves a chunk of \p Rounded bytes at block \p BlockIdx of \p Page.
+  void *carve(PageInfo &Page, uint32_t BlockIdx, size_t Rounded,
+              size_t Requested);
+  /// Sequentially fills blocks of \p Cursor's page; advances pages as
+  /// needed. When \p EmptyBlockOnly is set, only fully-empty blocks are
+  /// used (the near-spill path: the block's remainder stays reserved for
+  /// the spilled chain's future co-locations, not for the spill stream).
+  void *bumpAllocate(PageInfo *&Cursor, size_t Rounded, size_t Requested,
+                     bool EmptyBlockOnly = false);
+  /// Finds a block in \p Page with \p Rounded free bytes per \p Strategy,
+  /// or a negative value if none fits.
+  int64_t findBlock(const PageInfo &Page, uint32_t NearBlock, size_t Rounded,
+                    CcStrategy Strategy) const;
+  /// Allocates a run of fully-empty blocks for oversized chunks.
+  void *allocateLarge(size_t Rounded, size_t Requested);
+  size_t roundSize(size_t Size) const;
+  /// Pops a recycled chunk of exactly \p Rounded payload bytes, skipping
+  /// entries invalidated by block reclamation. When \p PageFilter is
+  /// nonzero only chunks on that page qualify (bounded tail scan).
+  void *popFreeList(size_t Rounded, uint64_t PageFilter);
+  /// True if the free-list entry still refers to a live-epoch block.
+  bool chunkValid(const FreeChunk &Chunk) const;
+
+  HeapConfig Config;
+  HeapStats Stats;
+  uint32_t BlocksPerPage;
+  std::unordered_map<uint64_t, std::unique_ptr<PageInfo>> Pages;
+  /// Exact-rounded-size segregated free lists.
+  std::unordered_map<size_t, std::vector<FreeChunk>> FreeLists;
+  PageInfo *PlainCursor = nullptr;
+  PageInfo *SpillCursor = nullptr;
+  /// Reclaimed blocks (page, block index) available for spill
+  /// allocations; entries are validated against Used == 0 when popped.
+  std::vector<std::pair<PageInfo *, uint32_t>> FreeBlockPool;
+  /// Slab backing store for pages.
+  std::vector<void *> Slabs;
+  char *SlabCursor = nullptr;
+  char *SlabEnd = nullptr;
+};
+
+} // namespace ccl::heap
+
+#endif // CCL_HEAP_CCHEAP_H

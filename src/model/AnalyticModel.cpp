@@ -1,0 +1,57 @@
+//===- model/AnalyticModel.cpp - Section 5 analytic framework --------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/AnalyticModel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ccl::model;
+
+double ccl::model::missRate(const LocalityProfile &Profile) {
+  assert(Profile.D > 0 && "access function must be positive");
+  assert(Profile.K >= 1.0 && "spatial locality K is at least one");
+  double Reuse = std::clamp(Profile.Rs, 0.0, Profile.D);
+  return (1.0 - Reuse / Profile.D) / Profile.K;
+}
+
+double ccl::model::amortizedMissRate(const LocalityProfile &Profile,
+                                     uint64_t Accesses,
+                                     uint64_t WarmupAccesses) {
+  assert(Accesses > 0 && "need at least one access");
+  double Sum = 0.0;
+  for (uint64_t I = 0; I < Accesses; ++I) {
+    // Reuse ramps linearly from 0 to Rs over the warmup window: the
+    // structure suffers cold-start misses until the colored hot region
+    // is resident (paper §5.1: "R(i) is highly dependent on i for small
+    // values of i").
+    double Ramp = WarmupAccesses == 0
+                      ? 1.0
+                      : std::min(1.0, static_cast<double>(I) /
+                                          static_cast<double>(WarmupAccesses));
+    LocalityProfile Transient = Profile;
+    Transient.Rs = Profile.Rs * Ramp;
+    Sum += missRate(Transient);
+  }
+  return Sum / static_cast<double>(Accesses);
+}
+
+double ccl::model::accessTime(const MemoryTimings &Timings, double MissL1,
+                              double MissL2, double References) {
+  return (Timings.HitTime + MissL1 * Timings.L1MissPenalty +
+          MissL1 * MissL2 * Timings.L2MissPenalty) *
+         References;
+}
+
+double ccl::model::speedup(const MemoryTimings &Timings, double NaiveMissL1,
+                           double NaiveMissL2, double CcMissL1,
+                           double CcMissL2) {
+  // The reference count cancels when only the layout changes (Fig. 8).
+  double Naive = accessTime(Timings, NaiveMissL1, NaiveMissL2, 1.0);
+  double Cc = accessTime(Timings, CcMissL1, CcMissL2, 1.0);
+  assert(Cc > 0 && "cache-conscious access time must be positive");
+  return Naive / Cc;
+}

@@ -1,0 +1,75 @@
+//===- model/AnalyticModel.h - Section 5 analytic framework ----*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's analytic framework (Section 5): a data-structure-centric
+/// cache model for pointer-path accesses. The model characterizes a
+/// structure by
+///
+///   D  — average unique references per pointer-path access,
+///   K  — average elements per cache block used by the access (spatial
+///        locality),
+///   R  — elements already cached from prior accesses (temporal
+///        locality; Rs in steady state),
+///
+/// giving a per-access miss rate m = (1 - R/D) / K, a memory access time
+/// t = (t_h + m_L1 t_mL1 + m_L1 m_L2 t_mL2) * refs, and the speedup
+/// equation of Figure 8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_MODEL_ANALYTICMODEL_H
+#define CCL_MODEL_ANALYTICMODEL_H
+
+#include <cstdint>
+
+namespace ccl::model {
+
+/// Hardware timing parameters: t_h, t_mL1, t_mL2.
+struct MemoryTimings {
+  double HitTime = 1.0;        ///< L1 access time t_h (cycles).
+  double L1MissPenalty = 6.0;  ///< Additional cycles for an L1 miss.
+  double L2MissPenalty = 64.0; ///< Additional cycles for an L2 miss.
+
+  /// Timings matching the Sun E5000 preset (paper §4.1).
+  static MemoryTimings ultraSparcE5000() { return {1.0, 6.0, 64.0}; }
+  /// Timings matching the RSIM preset (paper Table 1).
+  static MemoryTimings rsimTable1() { return {1.0, 9.0, 60.0}; }
+};
+
+/// Locality profile <D, K, R> of one access type on one layout.
+struct LocalityProfile {
+  double D = 1.0;  ///< Unique references per pointer-path access.
+  double K = 1.0;  ///< Elements per cache block used (1 <= K <= b/e).
+  double Rs = 0.0; ///< Steady-state reused elements (0 <= Rs <= min(D, C/e)).
+
+  /// The paper's worst-case naive layout: one element per block, no
+  /// reuse (K = 1, R = 0) -> miss rate 1.
+  static LocalityProfile naiveWorstCase(double D) { return {D, 1.0, 0.0}; }
+};
+
+/// Per-access miss rate m(i) = (1 - R(i)/D) / K for a given reuse R.
+double missRate(const LocalityProfile &Profile);
+
+/// Amortized miss rate over p accesses with reuse ramping from 0 to Rs:
+/// m_a(p) = (1/p) * sum m(i). Models transient cold-start behaviour with
+/// a linear reuse ramp over the first \p WarmupAccesses accesses.
+double amortizedMissRate(const LocalityProfile &Profile, uint64_t Accesses,
+                         uint64_t WarmupAccesses);
+
+/// Expected memory access time per pointer-path access (paper §5.1):
+/// t = (t_h + m_L1 t_mL1 + m_L1 m_L2 t_mL2) * D.
+double accessTime(const MemoryTimings &Timings, double MissL1, double MissL2,
+                  double References);
+
+/// Cache-conscious speedup (Figure 8): ratio of naive to cache-conscious
+/// access time with an unchanged reference count.
+double speedup(const MemoryTimings &Timings, double NaiveMissL1,
+               double NaiveMissL2, double CcMissL1, double CcMissL2);
+
+} // namespace ccl::model
+
+#endif // CCL_MODEL_ANALYTICMODEL_H

@@ -1,0 +1,51 @@
+//===- model/CTreeModel.cpp - C-tree steady-state analysis -----------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/CTreeModel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace ccl;
+using namespace ccl::model;
+
+CTreeModel::CTreeModel(uint64_t Nodes, const CacheParams &Cache,
+                       uint64_t NodesPerBlock)
+    : Nodes(Nodes), Cache(Cache), NodesPerBlock(NodesPerBlock) {
+  assert(Nodes > 0 && "tree must be nonempty");
+  assert(NodesPerBlock >= 1 && "at least one node per block");
+}
+
+double CTreeModel::accessFunctionD() const {
+  return std::log2(static_cast<double>(Nodes) + 1.0);
+}
+
+double CTreeModel::spatialK() const {
+  return std::log2(static_cast<double>(NodesPerBlock) + 1.0);
+}
+
+double CTreeModel::reuseRs() const {
+  double HotNodes = static_cast<double>(Cache.HotSets) *
+                    static_cast<double>(NodesPerBlock) *
+                    static_cast<double>(Cache.Associativity);
+  return std::min(accessFunctionD(), std::log2(HotNodes + 1.0));
+}
+
+double CTreeModel::ccMissRate() const { return missRate(ccProfile()); }
+
+LocalityProfile CTreeModel::ccProfile() const {
+  return {accessFunctionD(), spatialK(), reuseRs()};
+}
+
+double CTreeModel::predictedSpeedup(const MemoryTimings &Timings) const {
+  // §5.4: both layouts assume L1 miss rate 1 (16-byte L1 blocks hold at
+  // most one node and provide practically no reuse across searches);
+  // the naive layout has L2 miss rate 1 (one element per block, no
+  // coloring: K=1, Rs=0).
+  return speedup(Timings, /*NaiveMissL1=*/1.0, /*NaiveMissL2=*/1.0,
+                 /*CcMissL1=*/1.0, /*CcMissL2=*/ccMissRate());
+}

@@ -1,0 +1,75 @@
+//===- model/CTreeModel.h - C-tree steady-state analysis -------*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instantiates the analytic framework for cache-conscious binary trees
+/// (paper §5.3, Figure 9). For a balanced, complete binary tree of n
+/// nodes, subtree-clustered k nodes per block and colored so the top
+/// (p * k * a) nodes map to a unique cache region:
+///
+///   D  = log2(n + 1)
+///   K  = log2(k + 1)
+///   Rs = log2(p * k * a + 1)
+///
+/// (the paper divides the cache in half, p = c/2). These logarithmic
+/// spatial and temporal locality functions are the best attainable since
+/// the access function itself is logarithmic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_MODEL_CTREEMODEL_H
+#define CCL_MODEL_CTREEMODEL_H
+
+#include "core/CacheParams.h"
+#include "model/AnalyticModel.h"
+
+#include <cstdint>
+
+namespace ccl::model {
+
+/// Closed-form locality model of a subtree-clustered, colored binary
+/// search tree under random key searches.
+class CTreeModel {
+public:
+  /// \param Nodes tree size n.
+  /// \param Cache target cache (sets c, associativity a, hot sets p).
+  /// \param NodesPerBlock subtree size k clustered per block.
+  CTreeModel(uint64_t Nodes, const CacheParams &Cache,
+             uint64_t NodesPerBlock);
+
+  /// D = log2(n+1): nodes visited per random search.
+  double accessFunctionD() const;
+
+  /// K = log2(k+1): expected nodes used per fetched block (§2.1).
+  double spatialK() const;
+
+  /// Rs = log2(p*k*a + 1): colored top-of-tree nodes resident in steady
+  /// state, capped at D for tiny trees.
+  double reuseRs() const;
+
+  /// Steady-state L2 miss rate of the cache-conscious tree.
+  double ccMissRate() const;
+
+  /// Locality profile <D, K, Rs> for use with the generic framework.
+  LocalityProfile ccProfile() const;
+
+  /// Predicted speedup over the naive layout (Fig. 8 with the paper's
+  /// §5.4 assumptions: L1 miss rate ~1 for both layouts — small L1
+  /// blocks provide no clustering or reuse — and naive L2 miss rate 1).
+  double predictedSpeedup(const MemoryTimings &Timings) const;
+
+  uint64_t nodes() const { return Nodes; }
+  uint64_t nodesPerBlock() const { return NodesPerBlock; }
+
+private:
+  uint64_t Nodes;
+  CacheParams Cache;
+  uint64_t NodesPerBlock;
+};
+
+} // namespace ccl::model
+
+#endif // CCL_MODEL_CTREEMODEL_H

@@ -1,0 +1,83 @@
+//===- sim/AccessPolicy.h - Native vs simulated memory access --*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Workloads (trees, Olden benchmarks, BDD package, ray tracer) are
+/// templated over an access policy so the same code runs twice:
+///
+///  * NativeAccess — compiles to plain loads/stores; used for wall-clock
+///    measurements on the host machine (paper Sections 4.2/4.3).
+///  * SimAccess — additionally reports every pointer dereference to a
+///    MemoryHierarchy using the real virtual address; used for the
+///    cycle-breakdown experiments (paper Section 4.4 / Figure 7).
+///
+/// The policies expose load/store/touch/prefetch/tick. `tick` models
+/// non-memory computation so the simulator's busy fraction is nonzero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_SIM_ACCESSPOLICY_H
+#define CCL_SIM_ACCESSPOLICY_H
+
+#include "sim/MemoryHierarchy.h"
+#include "support/Align.h"
+
+#include <cstddef>
+
+namespace ccl::sim {
+
+/// Pass-through policy: real execution, no simulation.
+class NativeAccess {
+public:
+  template <typename T> T load(const T *Ptr) { return *Ptr; }
+
+  template <typename T> void store(T *Ptr, const T &Value) { *Ptr = Value; }
+
+  /// Records a read of an object without returning it (for whole-node
+  /// touches where individual field loads are not interesting).
+  void touch(const void *, size_t) {}
+
+  void prefetch(const void *Ptr) { __builtin_prefetch(Ptr); }
+
+  void tick(uint64_t) {}
+
+  static constexpr bool IsSimulated = false;
+};
+
+/// Simulation policy: every load/store also drives a MemoryHierarchy.
+class SimAccess {
+public:
+  explicit SimAccess(MemoryHierarchy &Hierarchy) : Hierarchy(Hierarchy) {}
+
+  template <typename T> T load(const T *Ptr) {
+    Hierarchy.read(addrOf(Ptr), sizeof(T));
+    return *Ptr;
+  }
+
+  template <typename T> void store(T *Ptr, const T &Value) {
+    Hierarchy.write(addrOf(Ptr), sizeof(T));
+    *Ptr = Value;
+  }
+
+  void touch(const void *Ptr, size_t Size) {
+    Hierarchy.read(addrOf(Ptr), Size);
+  }
+
+  void prefetch(const void *Ptr) { Hierarchy.prefetch(addrOf(Ptr)); }
+
+  void tick(uint64_t Cycles) { Hierarchy.tick(Cycles); }
+
+  MemoryHierarchy &hierarchy() { return Hierarchy; }
+
+  static constexpr bool IsSimulated = true;
+
+private:
+  MemoryHierarchy &Hierarchy;
+};
+
+} // namespace ccl::sim
+
+#endif // CCL_SIM_ACCESSPOLICY_H

@@ -1,0 +1,110 @@
+//===- sim/Cache.cpp - One set-associative LRU cache level ----------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Cache.h"
+
+using namespace ccl::sim;
+
+Cache::Cache(const CacheConfig &Config)
+    : Config(Config), Sets(Config.numSets()), Assoc(Config.Associativity),
+      Lines(Sets * Assoc) {
+  assert(Config.isValid() && "invalid cache configuration");
+}
+
+CacheAccessResult Cache::access(uint64_t Addr, bool IsWrite) {
+  uint64_t Block = Config.blockAddr(Addr);
+  uint64_t SetIdx = Block % Sets;
+  Line *Set = setBase(SetIdx);
+  ++UseClock;
+
+  for (uint32_t Way = 0; Way < Assoc; ++Way) {
+    Line &L = Set[Way];
+    if (L.Valid && L.Tag == Block) {
+      L.LastUse = UseClock;
+      L.Dirty |= IsWrite;
+      ++Hits;
+      return {/*Hit=*/true, false, 0, false};
+    }
+  }
+
+  ++Misses;
+  CacheAccessResult Result = install(Addr, IsWrite);
+  Result.Hit = false;
+  return Result;
+}
+
+bool Cache::contains(uint64_t Addr) const {
+  uint64_t Block = Config.blockAddr(Addr);
+  const Line *Set = setBase(Block % Sets);
+  for (uint32_t Way = 0; Way < Assoc; ++Way)
+    if (Set[Way].Valid && Set[Way].Tag == Block)
+      return true;
+  return false;
+}
+
+CacheAccessResult Cache::install(uint64_t Addr, bool Dirty) {
+  uint64_t Block = Config.blockAddr(Addr);
+  Line *Set = setBase(Block % Sets);
+  ++UseClock;
+
+  // Reuse the line if already present (install is idempotent).
+  for (uint32_t Way = 0; Way < Assoc; ++Way) {
+    Line &L = Set[Way];
+    if (L.Valid && L.Tag == Block) {
+      L.LastUse = UseClock;
+      L.Dirty |= Dirty;
+      return {/*Hit=*/true, false, 0, false};
+    }
+  }
+
+  // Pick an invalid way, else the LRU way.
+  Line *Victim = &Set[0];
+  for (uint32_t Way = 0; Way < Assoc; ++Way) {
+    Line &L = Set[Way];
+    if (!L.Valid) {
+      Victim = &L;
+      break;
+    }
+    if (L.LastUse < Victim->LastUse)
+      Victim = &L;
+  }
+
+  CacheAccessResult Result;
+  if (Victim->Valid) {
+    Result.Evicted = true;
+    Result.VictimBlock = Victim->Tag;
+    if (Victim->Dirty) {
+      Result.WritebackVictim = true;
+      ++Writebacks;
+    }
+    ++Evictions;
+  }
+  Victim->Valid = true;
+  Victim->Tag = Block;
+  Victim->Dirty = Dirty;
+  Victim->LastUse = UseClock;
+  return Result;
+}
+
+bool Cache::invalidate(uint64_t Addr) {
+  uint64_t Block = Config.blockAddr(Addr);
+  Line *Set = setBase(Block % Sets);
+  for (uint32_t Way = 0; Way < Assoc; ++Way) {
+    Line &L = Set[Way];
+    if (L.Valid && L.Tag == Block) {
+      L.Valid = false;
+      return L.Dirty;
+    }
+  }
+  return false;
+}
+
+void Cache::reset() {
+  for (Line &L : Lines)
+    L = Line();
+  UseClock = 0;
+  Hits = Misses = Evictions = Writebacks = 0;
+}

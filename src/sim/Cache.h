@@ -1,0 +1,97 @@
+//===- sim/Cache.h - One set-associative LRU cache level -------*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single set-associative, LRU-replacement cache level. The
+/// MemoryHierarchy composes two of these into the paper's two-level
+/// blocking configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_SIM_CACHE_H
+#define CCL_SIM_CACHE_H
+
+#include "sim/CacheConfig.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ccl::sim {
+
+/// Outcome of a cache lookup-with-install.
+struct CacheAccessResult {
+  bool Hit = false;
+  /// True if the install evicted a dirty block (write-back needed).
+  bool WritebackVictim = false;
+  /// Block address of the evicted block, valid if a block was evicted.
+  uint64_t VictimBlock = 0;
+  bool Evicted = false;
+};
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Addresses are full byte addresses; the cache internally reduces them to
+/// block addresses using the configured block size.
+class Cache {
+public:
+  explicit Cache(const CacheConfig &Config);
+
+  const CacheConfig &config() const { return Config; }
+
+  /// Looks up \p Addr; on miss, installs the block (evicting LRU).
+  /// \p IsWrite marks the block dirty on hit or install.
+  CacheAccessResult access(uint64_t Addr, bool IsWrite);
+
+  /// Looks up without modifying replacement state or contents.
+  bool contains(uint64_t Addr) const;
+
+  /// Installs the block containing \p Addr (used for prefetch fills).
+  /// Returns eviction info like access().
+  CacheAccessResult install(uint64_t Addr, bool Dirty = false);
+
+  /// Removes the block containing \p Addr if present. Returns true if the
+  /// removed block was dirty.
+  bool invalidate(uint64_t Addr);
+
+  /// Empties the cache and resets statistics.
+  void reset();
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  uint64_t evictions() const { return Evictions; }
+  uint64_t writebacks() const { return Writebacks; }
+  double missRate() const {
+    uint64_t Total = Hits + Misses;
+    return Total == 0 ? 0.0 : static_cast<double>(Misses) / Total;
+  }
+
+private:
+  struct Line {
+    uint64_t Tag = 0;
+    uint64_t LastUse = 0;
+    bool Valid = false;
+    bool Dirty = false;
+  };
+
+  Line *setBase(uint64_t SetIdx) { return &Lines[SetIdx * Assoc]; }
+  const Line *setBase(uint64_t SetIdx) const {
+    return &Lines[SetIdx * Assoc];
+  }
+
+  CacheConfig Config;
+  uint64_t Sets;
+  uint32_t Assoc;
+  std::vector<Line> Lines;
+  uint64_t UseClock = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  uint64_t Writebacks = 0;
+};
+
+} // namespace ccl::sim
+
+#endif // CCL_SIM_CACHE_H

@@ -1,0 +1,169 @@
+//===- sim/MemoryHierarchy.cpp - Two-level memory hierarchy ---------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/MemoryHierarchy.h"
+
+#include <algorithm>
+
+using namespace ccl::sim;
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &Config)
+    : Config(Config), L1(Config.L1), L2(Config.L2), TlbModel(Config.Tlb) {
+  assert(Config.isValid() && "invalid hierarchy configuration");
+  // The unit must be a multiple of every structure the simulation keys
+  // off an address: L2 frame size (capacity/assoc), L1 capacity, and the
+  // VM page size.
+  TranslationUnitBytes = std::max<uint64_t>(
+      {Config.L2.CapacityBytes, Config.L1.CapacityBytes,
+       Config.Tlb.PageBytes});
+}
+
+uint64_t MemoryHierarchy::translate(uint64_t Addr) {
+  uint64_t Unit = Addr / TranslationUnitBytes;
+  uint64_t Offset = Addr % TranslationUnitBytes;
+  if (Unit != LastUnit) {
+    auto [It, Inserted] = UnitMap.try_emplace(Unit, NextUnit);
+    if (Inserted)
+      ++NextUnit;
+    LastUnit = Unit;
+    LastMapped = It->second;
+  }
+  return LastMapped * TranslationUnitBytes + Offset;
+}
+
+void MemoryHierarchy::accessRange(uint64_t Addr, uint64_t Size,
+                                  bool IsWrite) {
+  if (Size == 0)
+    Size = 1;
+  uint64_t First = Addr / Config.L1.BlockBytes;
+  uint64_t Last = (Addr + Size - 1) / Config.L1.BlockBytes;
+  for (uint64_t Block = First; Block <= Last; ++Block)
+    accessBlock(translate(Block * Config.L1.BlockBytes), IsWrite);
+}
+
+void MemoryHierarchy::accessBlock(uint64_t Addr, bool IsWrite) {
+  if (IsWrite)
+    ++Stats.Writes;
+  else
+    ++Stats.Reads;
+
+  if (Config.Tlb.Enabled && !TlbModel.access(Addr)) {
+    ++Stats.TlbMisses;
+    Stats.TlbStallCycles += Config.Tlb.MissLatency;
+    Cycle += Config.Tlb.MissLatency;
+  }
+
+  // The L1 hit latency is charged on every access as pipeline busy time.
+  Stats.BusyCycles += Config.L1.HitLatency;
+  Cycle += Config.L1.HitLatency;
+
+  CacheAccessResult L1Result = L1.access(Addr, IsWrite);
+  if (L1Result.Hit) {
+    ++Stats.L1Hits;
+    return;
+  }
+  ++Stats.L1Misses;
+  Stats.L1StallCycles += Config.L2.HitLatency;
+  Cycle += Config.L2.HitLatency;
+
+  CacheAccessResult L2Result = L2.access(Addr, IsWrite);
+  if (L2Result.Hit) {
+    ++Stats.L2Hits;
+    return;
+  }
+  if (L2Result.WritebackVictim)
+    ++Stats.Writebacks;
+  handleL2Miss(Addr, IsWrite);
+}
+
+void MemoryHierarchy::handleL2Miss(uint64_t Addr, bool IsWrite) {
+  (void)IsWrite;
+  uint64_t Block = Config.L2.blockAddr(Addr);
+
+  auto It = InFlight.find(Block);
+  if (It != InFlight.end()) {
+    uint64_t Ready = It->second;
+    InFlight.erase(It);
+    if (Ready <= Cycle) {
+      // Prefetch completed before the demand access: a free L2 hit.
+      ++Stats.L2Hits;
+      ++Stats.PrefetchFullHits;
+      return;
+    }
+    // Partial overlap: stall only for the residual fill latency.
+    uint64_t Residual = Ready - Cycle;
+    ++Stats.L2Misses;
+    ++Stats.PrefetchPartialHits;
+    Stats.L2StallCycles += Residual;
+    Cycle += Residual;
+    return;
+  }
+
+  ++Stats.L2Misses;
+  Stats.L2StallCycles += Config.MemoryLatency;
+  Cycle += Config.MemoryLatency;
+
+  // Hardware next-line prefetcher: on a demand L2 miss, schedule the next
+  // NextLineDegree sequential blocks as in-flight fills.
+  for (uint32_t I = 1; I <= Config.Prefetch.NextLineDegree; ++I) {
+    uint64_t NextAddr = (Block + I) * Config.L2.BlockBytes;
+    if (L2.contains(NextAddr))
+      continue;
+    uint64_t NextBlock = Block + I;
+    if (!InFlight.count(NextBlock)) {
+      InFlight[NextBlock] = Cycle + Config.MemoryLatency;
+      ++Stats.HwPrefetches;
+    }
+  }
+  sweepInFlight();
+}
+
+void MemoryHierarchy::installBoth(uint64_t Addr, bool Dirty) {
+  if (L2.install(Addr, Dirty).WritebackVictim)
+    ++Stats.Writebacks;
+  L1.install(Addr, Dirty);
+}
+
+void MemoryHierarchy::prefetch(uint64_t Addr) {
+  Addr = translate(Addr);
+  ++Stats.SwPrefetches;
+  Stats.PrefetchIssueCycles += Config.PrefetchIssueCost;
+  Cycle += Config.PrefetchIssueCost;
+
+  if (L1.contains(Addr) || L2.contains(Addr))
+    return;
+  uint64_t Block = Config.L2.blockAddr(Addr);
+  if (InFlight.count(Block))
+    return;
+  InFlight[Block] = Cycle + Config.MemoryLatency;
+  sweepInFlight();
+}
+
+void MemoryHierarchy::sweepInFlight() {
+  if (InFlight.size() < 8192)
+    return;
+  // Retire completed fills into L2; drop the rest of the completed set.
+  for (auto It = InFlight.begin(); It != InFlight.end();) {
+    if (It->second <= Cycle) {
+      installBoth(It->first * Config.L2.BlockBytes, false);
+      It = InFlight.erase(It);
+    } else {
+      ++It;
+    }
+  }
+}
+
+void MemoryHierarchy::reset() {
+  LastUnit = ~0ULL;
+  L1.reset();
+  L2.reset();
+  TlbModel.reset();
+  InFlight.clear();
+  UnitMap.clear();
+  NextUnit = 1;
+  Cycle = 0;
+  Stats = SimStats();
+}

@@ -1,0 +1,111 @@
+//===- sim/MemoryHierarchy.h - Two-level memory hierarchy ------*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace-driven two-level memory hierarchy: L1 + L2 LRU caches, a TLB,
+/// an optional next-line hardware prefetcher, software-prefetch support
+/// with latency-overlap modeling, and busy/stall cycle attribution.
+///
+/// Workloads drive it with real virtual addresses (see AccessPolicy.h), so
+/// layout decisions made by ccmalloc/ccmorph translate directly into set
+/// indices and miss counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_SIM_MEMORYHIERARCHY_H
+#define CCL_SIM_MEMORYHIERARCHY_H
+
+#include "sim/Cache.h"
+#include "sim/SimStats.h"
+#include "sim/Tlb.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace ccl::sim {
+
+/// A two-level blocking cache hierarchy with cycle accounting.
+///
+/// Cycle model: each access is charged the L1 hit latency as busy time;
+/// an L1 miss adds the L2 hit latency as L1 stall; an L2 miss adds the
+/// memory latency as L2 stall. Prefetched blocks carry a ready-cycle;
+/// demand accesses that find an in-flight block stall only for the
+/// residual cycles (this is how both the greedy software prefetching of
+/// Luk & Mowry and the hardware next-line prefetcher hide latency).
+class MemoryHierarchy {
+public:
+  explicit MemoryHierarchy(const HierarchyConfig &Config);
+
+  const HierarchyConfig &config() const { return Config; }
+
+  /// Advances the clock by \p Cycles of computation (busy) time.
+  void tick(uint64_t Cycles) {
+    Cycle += Cycles;
+    Stats.BusyCycles += Cycles;
+  }
+
+  /// Simulates a data read of \p Size bytes at \p Addr. Accesses that
+  /// span multiple L1 blocks touch each block once.
+  void read(uint64_t Addr, uint64_t Size) { accessRange(Addr, Size, false); }
+
+  /// Simulates a data write of \p Size bytes at \p Addr (write-allocate).
+  void write(uint64_t Addr, uint64_t Size) { accessRange(Addr, Size, true); }
+
+  /// Issues a software prefetch for the L2 block containing \p Addr.
+  void prefetch(uint64_t Addr);
+
+  /// Current simulated cycle.
+  uint64_t now() const { return Cycle; }
+
+  const SimStats &stats() const { return Stats; }
+  const Cache &l1() const { return L1; }
+  const Cache &l2() const { return L2; }
+  const Tlb &tlb() const { return TlbModel; }
+
+  /// Empties caches, TLB, in-flight prefetches, and statistics.
+  void reset();
+
+private:
+  void accessRange(uint64_t Addr, uint64_t Size, bool IsWrite);
+  void accessBlock(uint64_t Addr, bool IsWrite);
+  /// Handles an access that missed both caches; charges residual latency
+  /// if the block is in flight, otherwise a full memory stall, and asks
+  /// the hardware prefetcher to act.
+  void handleL2Miss(uint64_t Addr, bool IsWrite);
+  void installBoth(uint64_t Addr, bool Dirty);
+  /// Prevents the in-flight map from growing without bound when software
+  /// prefetches are issued but never consumed.
+  void sweepInFlight();
+
+  /// Deterministic virtual-to-simulated-physical translation: real
+  /// process addresses vary run to run (ASLR, allocator), which would
+  /// make simulated set indices nondeterministic. Addresses are remapped
+  /// at cache-capacity granularity in first-touch order, preserving all
+  /// intra-region offsets — so block sharing, page locality, and
+  /// coloring (frames are capacity-aligned) are untouched while results
+  /// become exactly reproducible.
+  uint64_t translate(uint64_t Addr);
+
+  HierarchyConfig Config;
+  Cache L1;
+  Cache L2;
+  Tlb TlbModel;
+  uint64_t Cycle = 0;
+  SimStats Stats;
+  /// L2 block address -> cycle at which the prefetched fill completes.
+  std::unordered_map<uint64_t, uint64_t> InFlight;
+  uint64_t TranslationUnitBytes;
+  std::unordered_map<uint64_t, uint64_t> UnitMap;
+  uint64_t NextUnit = 1; // Unit 0 reserved so address 0 stays unique.
+  // Single-entry translation cache (pointer chasing has strong unit
+  // locality; this avoids a hash lookup on most accesses).
+  uint64_t LastUnit = ~0ULL;
+  uint64_t LastMapped = 0;
+};
+
+} // namespace ccl::sim
+
+#endif // CCL_SIM_MEMORYHIERARCHY_H

@@ -1,0 +1,72 @@
+//===- sim/SimStats.h - Simulation counters and cycle breakdown -*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregate counters produced by a MemoryHierarchy run, including the
+/// busy / L1-stall / L2-stall cycle attribution used to reproduce the
+/// stacked bars of the paper's Figure 7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_SIM_SIMSTATS_H
+#define CCL_SIM_SIMSTATS_H
+
+#include <cstdint>
+
+namespace ccl::sim {
+
+/// Event counts and attributed cycles for one simulation.
+struct SimStats {
+  // Event counts.
+  uint64_t Reads = 0;
+  uint64_t Writes = 0;
+  uint64_t SwPrefetches = 0;
+  uint64_t HwPrefetches = 0;
+  uint64_t L1Hits = 0;
+  uint64_t L1Misses = 0;
+  uint64_t L2Hits = 0;
+  uint64_t L2Misses = 0;
+  /// Demand accesses whose latency was fully hidden by a prefetch.
+  uint64_t PrefetchFullHits = 0;
+  /// Demand accesses that overlapped with an in-flight prefetch.
+  uint64_t PrefetchPartialHits = 0;
+  uint64_t TlbMisses = 0;
+  uint64_t Writebacks = 0;
+
+  // Attributed cycles.
+  uint64_t BusyCycles = 0;
+  uint64_t L1StallCycles = 0;
+  uint64_t L2StallCycles = 0;
+  uint64_t TlbStallCycles = 0;
+  uint64_t PrefetchIssueCycles = 0;
+
+  uint64_t totalCycles() const {
+    return BusyCycles + L1StallCycles + L2StallCycles + TlbStallCycles +
+           PrefetchIssueCycles;
+  }
+
+  uint64_t memoryReferences() const { return Reads + Writes; }
+
+  double l1MissRate() const {
+    uint64_t Total = L1Hits + L1Misses;
+    return Total == 0 ? 0.0 : static_cast<double>(L1Misses) / Total;
+  }
+
+  double l2MissRate() const {
+    uint64_t Total = L2Hits + L2Misses;
+    return Total == 0 ? 0.0 : static_cast<double>(L2Misses) / Total;
+  }
+
+  /// Average cycles per memory reference (the model's t_memory).
+  double cyclesPerReference() const {
+    uint64_t Refs = memoryReferences();
+    return Refs == 0 ? 0.0 : static_cast<double>(totalCycles()) / Refs;
+  }
+};
+
+} // namespace ccl::sim
+
+#endif // CCL_SIM_SIMSTATS_H

@@ -1,0 +1,54 @@
+//===- sim/Tlb.cpp - Fully-associative TLB model ---------------------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Tlb.h"
+
+using namespace ccl::sim;
+
+Tlb::Tlb(const TlbConfig &Config) : Config(Config), Entries(Config.Entries) {
+  assert(isPowerOf2(Config.PageBytes) && "page size must be a power of two");
+  assert(Config.Entries > 0 && "TLB needs at least one entry");
+}
+
+bool Tlb::access(uint64_t Addr) {
+  uint64_t Page = Addr / Config.PageBytes;
+  ++UseClock;
+
+  if (LastHit && LastHit->Valid && LastHit->Page == Page) {
+    LastHit->LastUse = UseClock;
+    ++Hits;
+    return true;
+  }
+
+  Entry *Victim = &Entries[0];
+  for (Entry &E : Entries) {
+    if (E.Valid && E.Page == Page) {
+      E.LastUse = UseClock;
+      ++Hits;
+      LastHit = &E;
+      return true;
+    }
+    if (!E.Valid)
+      Victim = &E;
+    else if (Victim->Valid && E.LastUse < Victim->LastUse)
+      Victim = &E;
+  }
+
+  ++Misses;
+  Victim->Valid = true;
+  Victim->Page = Page;
+  Victim->LastUse = UseClock;
+  LastHit = Victim;
+  return false;
+}
+
+void Tlb::reset() {
+  for (Entry &E : Entries)
+    E = Entry();
+  UseClock = 0;
+  Hits = Misses = 0;
+  LastHit = nullptr;
+}

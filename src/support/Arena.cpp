@@ -1,0 +1,98 @@
+//===- support/Arena.cpp - Page-aligned bump arena -------------------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include "support/Align.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ccl;
+
+Arena::Arena(size_t SlabBytesIn, size_t SlabAlignIn)
+    : SlabBytes(SlabBytesIn), SlabAlign(SlabAlignIn) {
+  assert(isPowerOf2(SlabAlign) && "slab alignment must be a power of two");
+  assert(SlabBytes >= 4096 && "slabs smaller than a page are wasteful");
+}
+
+Arena::~Arena() { reset(); }
+
+Arena::Arena(Arena &&Other) noexcept
+    : SlabBytes(Other.SlabBytes), SlabAlign(Other.SlabAlign),
+      Slabs(std::move(Other.Slabs)), Cursor(Other.Cursor),
+      SlabEnd(Other.SlabEnd), BytesAllocated(Other.BytesAllocated),
+      BytesReserved(Other.BytesReserved) {
+  Other.Slabs.clear();
+  Other.Cursor = Other.SlabEnd = nullptr;
+  Other.BytesAllocated = Other.BytesReserved = 0;
+}
+
+Arena &Arena::operator=(Arena &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  reset();
+  SlabBytes = Other.SlabBytes;
+  SlabAlign = Other.SlabAlign;
+  Slabs = std::move(Other.Slabs);
+  Cursor = Other.Cursor;
+  SlabEnd = Other.SlabEnd;
+  BytesAllocated = Other.BytesAllocated;
+  BytesReserved = Other.BytesReserved;
+  Other.Slabs.clear();
+  Other.Cursor = Other.SlabEnd = nullptr;
+  Other.BytesAllocated = Other.BytesReserved = 0;
+  return *this;
+}
+
+static void *alignedAllocOrDie(size_t Align, size_t Bytes) {
+  void *Memory = std::aligned_alloc(Align, Bytes);
+  if (!Memory) {
+    std::fprintf(stderr, "ccl: arena out of memory (%zu bytes)\n", Bytes);
+    std::abort();
+  }
+  return Memory;
+}
+
+void Arena::newSlab(size_t MinBytes) {
+  size_t Bytes = alignUp(std::max(SlabBytes, MinBytes), SlabAlign);
+  void *Memory = alignedAllocOrDie(SlabAlign, Bytes);
+  Slabs.push_back(Memory);
+  Cursor = static_cast<char *>(Memory);
+  SlabEnd = Cursor + Bytes;
+  BytesReserved += Bytes;
+}
+
+void *Arena::allocate(size_t Bytes, size_t Align) {
+  assert(isPowerOf2(Align) && "alignment must be a power of two");
+  if (Bytes == 0)
+    Bytes = 1;
+  uint64_t Aligned = alignUp(addrOf(Cursor), Align);
+  if (!Cursor || Aligned + Bytes > addrOf(SlabEnd)) {
+    newSlab(Bytes + Align);
+    Aligned = alignUp(addrOf(Cursor), Align);
+  }
+  Cursor = reinterpret_cast<char *>(Aligned + Bytes);
+  BytesAllocated += Bytes;
+  return reinterpret_cast<void *>(Aligned);
+}
+
+void *Arena::allocateSlab(size_t Bytes) {
+  size_t Rounded = alignUp(Bytes, SlabAlign);
+  void *Memory = alignedAllocOrDie(SlabAlign, Rounded);
+  Slabs.push_back(Memory);
+  BytesReserved += Rounded;
+  BytesAllocated += Bytes;
+  return Memory;
+}
+
+void Arena::reset() {
+  for (void *Slab : Slabs)
+    std::free(Slab);
+  Slabs.clear();
+  Cursor = SlabEnd = nullptr;
+  BytesAllocated = BytesReserved = 0;
+}

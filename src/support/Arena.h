@@ -1,0 +1,79 @@
+//===- support/Arena.h - Page-aligned bump arena ---------------*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A page-aligned bump arena. Both the heap substrate and ccmorph's
+/// ColoredArena sit on top of this: it hands out large aligned slabs whose
+/// base addresses have known cache-set mappings, which is what makes
+/// coloring by address arithmetic possible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_SUPPORT_ARENA_H
+#define CCL_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ccl {
+
+/// Owns a list of aligned slabs and bump-allocates from the current one.
+///
+/// Allocations never move and are freed all at once when the arena is
+/// destroyed or reset. Slab base addresses are aligned to SlabAlign so
+/// that offsets within a slab translate directly to cache-set indices.
+class Arena {
+public:
+  /// \param SlabBytes size of each slab request (rounded up for oversized
+  ///        allocations).
+  /// \param SlabAlign alignment of every slab base address; must be a
+  ///        power of two. Align to the cache capacity to give coloring
+  ///        full control over set mapping.
+  explicit Arena(size_t SlabBytes = 1 << 20, size_t SlabAlign = 1 << 20);
+  ~Arena();
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+  Arena(Arena &&Other) noexcept;
+  Arena &operator=(Arena &&Other) noexcept;
+
+  /// Allocates \p Bytes with \p Align alignment. Never returns null;
+  /// aborts on out-of-memory (allocation failure is not a recoverable
+  /// condition for these experiments).
+  void *allocate(size_t Bytes, size_t Align = alignof(std::max_align_t));
+
+  /// Allocates a whole slab of exactly \p Bytes (rounded up to SlabAlign)
+  /// with slab alignment, independent of the bump pointer. Used by the
+  /// ColoredArena to obtain cache-capacity-aligned frames.
+  void *allocateSlab(size_t Bytes);
+
+  /// Frees all slabs and resets statistics.
+  void reset();
+
+  /// Total bytes requested by allocate()/allocateSlab() calls.
+  size_t bytesAllocated() const { return BytesAllocated; }
+
+  /// Total bytes reserved from the OS (>= bytesAllocated()).
+  size_t bytesReserved() const { return BytesReserved; }
+
+  size_t slabCount() const { return Slabs.size(); }
+
+private:
+  void newSlab(size_t MinBytes);
+
+  size_t SlabBytes;
+  size_t SlabAlign;
+  std::vector<void *> Slabs;
+  char *Cursor = nullptr;
+  char *SlabEnd = nullptr;
+  size_t BytesAllocated = 0;
+  size_t BytesReserved = 0;
+};
+
+} // namespace ccl
+
+#endif // CCL_SUPPORT_ARENA_H

@@ -1,0 +1,107 @@
+//===- support/Random.h - Deterministic pseudo-random numbers --*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable random number generation (SplitMix64 for
+/// seeding, xoshiro256** for the stream). Every experiment in the
+/// repository draws randomness from these generators so results are
+/// exactly reproducible run-to-run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_SUPPORT_RANDOM_H
+#define CCL_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ccl {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG with a 2^256-1 period.
+///
+/// Satisfies the UniformRandomBitGenerator requirements so it can be used
+/// with <random> distributions and std::shuffle.
+class Xoshiro256 {
+public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256(uint64_t Seed = 0x1234abcdULL) {
+    SplitMix64 Mixer(Seed);
+    for (uint64_t &Word : State)
+      Word = Mixer.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [0, Bound). Bound must be nonzero. Uses Lemire's
+  /// multiply-shift rejection method.
+  uint64_t nextBounded(uint64_t Bound) {
+    assert(Bound != 0 && "bound must be nonzero");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = (0 - Bound) % Bound;
+    for (;;) {
+      uint64_t Value = next();
+      if (Value >= Threshold)
+        return Value % Bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    for (size_t I = Values.size(); I > 1; --I) {
+      size_t J = nextBounded(I);
+      std::swap(Values[I - 1], Values[J]);
+    }
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace ccl
+
+#endif // CCL_SUPPORT_RANDOM_H

@@ -1,0 +1,64 @@
+//===- support/Stats.h - Running statistics accumulators -------*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Welford-style running statistics (mean / variance / min / max) used by
+/// the benchmark harnesses to summarize repeated measurements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_SUPPORT_STATS_H
+#define CCL_SUPPORT_STATS_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace ccl {
+
+/// Accumulates samples and reports mean, variance, min, and max without
+/// storing the individual samples.
+class RunningStats {
+public:
+  void add(double Sample) {
+    ++Count;
+    double Delta = Sample - Mean;
+    Mean += Delta / static_cast<double>(Count);
+    M2 += Delta * (Sample - Mean);
+    if (Sample < MinValue)
+      MinValue = Sample;
+    if (Sample > MaxValue)
+      MaxValue = Sample;
+  }
+
+  uint64_t count() const { return Count; }
+
+  double mean() const { return Count == 0 ? 0.0 : Mean; }
+
+  /// Sample variance (n-1 denominator); zero for fewer than two samples.
+  double variance() const {
+    return Count < 2 ? 0.0 : M2 / static_cast<double>(Count - 1);
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+
+  double min() const { return Count == 0 ? 0.0 : MinValue; }
+  double max() const { return Count == 0 ? 0.0 : MaxValue; }
+
+  void reset() { *this = RunningStats(); }
+
+private:
+  uint64_t Count = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double MinValue = std::numeric_limits<double>::infinity();
+  double MaxValue = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace ccl
+
+#endif // CCL_SUPPORT_STATS_H

@@ -1,0 +1,63 @@
+//===- support/Zipf.h - Zipf-distributed sampling ---------------*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Zipf(s) sampler over ranks [0, n): P(k) proportional to 1/(k+1)^s.
+/// Used by the profile-guided placement experiments, where the access
+/// skew — not tree topology — determines which elements are hot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_SUPPORT_ZIPF_H
+#define CCL_SUPPORT_ZIPF_H
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace ccl {
+
+/// Samples ranks with a Zipfian distribution via an inverse-CDF table.
+class ZipfDistribution {
+public:
+  /// \param N number of ranks; \param S skew exponent (1.0 = classic).
+  explicit ZipfDistribution(uint64_t N, double S = 1.0) : Cdf(N) {
+    assert(N > 0 && "need at least one rank");
+    double Sum = 0.0;
+    for (uint64_t K = 0; K < N; ++K) {
+      Sum += 1.0 / std::pow(double(K + 1), S);
+      Cdf[K] = Sum;
+    }
+    for (double &Value : Cdf)
+      Value /= Sum;
+  }
+
+  /// Draws a rank in [0, N): rank 0 is the most popular.
+  uint64_t operator()(Xoshiro256 &Rng) const {
+    double U = Rng.nextDouble();
+    auto It = std::lower_bound(Cdf.begin(), Cdf.end(), U);
+    if (It == Cdf.end())
+      return Cdf.size() - 1;
+    return static_cast<uint64_t>(It - Cdf.begin());
+  }
+
+  /// Probability mass of the top \p K ranks.
+  double topMass(uint64_t K) const {
+    if (K == 0)
+      return 0.0;
+    return Cdf[std::min<uint64_t>(K, Cdf.size()) - 1];
+  }
+
+private:
+  std::vector<double> Cdf;
+};
+
+} // namespace ccl
+
+#endif // CCL_SUPPORT_ZIPF_H

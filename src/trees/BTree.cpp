@@ -1,0 +1,108 @@
+//===- trees/BTree.cpp - In-core B-tree with block-sized nodes -------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trees/BTree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+using namespace ccl;
+using namespace ccl::trees;
+
+namespace {
+
+constexpr unsigned MaxKeys = 4;
+
+struct NodeMin {
+  BTreeNode *Node;
+  uint32_t MinKey;
+};
+
+BTreeNode *newNode(std::deque<BTreeNode> &Pool, bool Leaf) {
+  Pool.push_back(BTreeNode());
+  BTreeNode *N = &Pool.back();
+  N->Count = 0;
+  N->Leaf = Leaf ? 1 : 0;
+  N->Pad = 0;
+  for (auto &Kid : N->Kids)
+    Kid = nullptr;
+  return N;
+}
+
+} // namespace
+
+BTree BTree::buildFromSorted(const std::vector<uint32_t> &Keys,
+                             const CacheParams &Params,
+                             const Options &Opts) {
+  assert(!Keys.empty() && "B-tree needs at least one key");
+  assert(std::is_sorted(Keys.begin(), Keys.end()) && "keys must be sorted");
+  assert(Opts.FillFactor > 0.0 && Opts.FillFactor <= 1.0 &&
+         "fill factor must be in (0, 1]");
+
+  unsigned KeysPerLeaf = std::clamp<unsigned>(
+      static_cast<unsigned>(std::lround(MaxKeys * Opts.FillFactor)), 1,
+      MaxKeys);
+  unsigned KidsPerNode = KeysPerLeaf + 1;
+
+  std::deque<BTreeNode> Pool;
+
+  // Level 0: leaves over key runs of KeysPerLeaf.
+  std::vector<NodeMin> Level;
+  for (size_t Begin = 0; Begin < Keys.size(); Begin += KeysPerLeaf) {
+    size_t End = std::min(Begin + KeysPerLeaf, Keys.size());
+    BTreeNode *Leaf = newNode(Pool, /*Leaf=*/true);
+    for (size_t I = Begin; I < End; ++I)
+      Leaf->Keys[Leaf->Count++] = Keys[I];
+    Level.push_back({Leaf, Keys[Begin]});
+  }
+
+  // Build internal levels until a single root remains. Children are
+  // distributed as evenly as possible across parents; separators are the
+  // minimum key of each right-hand child subtree.
+  unsigned Height = 1;
+  while (Level.size() > 1) {
+    size_t NumKids = Level.size();
+    size_t NumParents = (NumKids + KidsPerNode - 1) / KidsPerNode;
+    size_t Base = NumKids / NumParents;
+    size_t Extra = NumKids % NumParents;
+
+    std::vector<NodeMin> Next;
+    Next.reserve(NumParents);
+    size_t Cursor = 0;
+    for (size_t P = 0; P < NumParents; ++P) {
+      size_t Take = Base + (P < Extra ? 1 : 0);
+      BTreeNode *Parent = newNode(Pool, /*Leaf=*/false);
+      for (size_t I = 0; I < Take; ++I) {
+        const NodeMin &Kid = Level[Cursor + I];
+        Parent->Kids[I] = Kid.Node;
+        if (I > 0)
+          Parent->Keys[Parent->Count++] = Kid.MinKey;
+      }
+      Next.push_back({Parent, Level[Cursor].MinKey});
+      Cursor += Take;
+    }
+    Level = std::move(Next);
+    ++Height;
+  }
+
+  BTree Tree;
+  Tree.Nodes = Pool.size();
+  Tree.Height = Height;
+
+  // Place the structure: always copy into a contiguous arena via ccmorph
+  // (BFS order, one block-aligned node per cluster); coloring puts the
+  // top levels into the hot cache region.
+  MorphOptions MO;
+  MO.Scheme = LayoutScheme::Bfs;
+  MO.Color = Opts.Color;
+  MO.NodesPerBlock = 1;
+  Tree.Morph =
+      std::make_unique<CcMorph<BTreeNode, BTreeAdapter>>(Params);
+  Tree.Root = Tree.Morph->reorganize(Level[0].Node, MO);
+  return Tree;
+}

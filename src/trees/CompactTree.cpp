@@ -1,0 +1,300 @@
+//===- trees/CompactTree.cpp - 32-bit-offset trees (paper regime) -----------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trees/CompactTree.h"
+
+#include "core/OffsetLayout.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <numeric>
+
+using namespace ccl;
+using namespace ccl::trees;
+
+namespace {
+
+struct TempNode {
+  uint32_t Key;
+  uint32_t Value;
+  int64_t Left = -1;
+  int64_t Right = -1;
+};
+
+/// Builds the balanced shape in preorder creation order.
+int64_t buildTemp(std::vector<TempNode> &Nodes, uint64_t Lo, uint64_t Hi) {
+  if (Lo >= Hi)
+    return -1;
+  uint64_t Mid = Lo + (Hi - Lo) / 2;
+  int64_t Index = static_cast<int64_t>(Nodes.size());
+  Nodes.push_back(TempNode{static_cast<uint32_t>(2 * Mid + 1),
+                           static_cast<uint32_t>(Mid), -1, -1});
+  int64_t Left = buildTemp(Nodes, Lo, Mid);
+  int64_t Right = buildTemp(Nodes, Mid + 1, Hi);
+  Nodes[Index].Left = Left;
+  Nodes[Index].Right = Right;
+  return Index;
+}
+
+/// Subtree clustering over index-linked nodes (the CcMorph algorithm,
+/// restated for offsets).
+std::vector<std::vector<int64_t>>
+formClusters(const std::vector<TempNode> &Nodes, LayoutScheme Scheme,
+             size_t K, uint64_t Seed) {
+  std::vector<std::vector<int64_t>> Clusters;
+  auto Chunk = [&](const std::vector<int64_t> &Order) {
+    for (size_t Begin = 0; Begin < Order.size(); Begin += K)
+      Clusters.emplace_back(
+          Order.begin() + Begin,
+          Order.begin() + std::min(Begin + K, Order.size()));
+  };
+
+  switch (Scheme) {
+  case LayoutScheme::Subtree: {
+    std::deque<int64_t> ClusterRoots{0};
+    while (!ClusterRoots.empty()) {
+      int64_t Top = ClusterRoots.front();
+      ClusterRoots.pop_front();
+      std::vector<int64_t> Cluster;
+      std::deque<int64_t> Frontier{Top};
+      while (!Frontier.empty() && Cluster.size() < K) {
+        int64_t N = Frontier.front();
+        Frontier.pop_front();
+        Cluster.push_back(N);
+        if (Nodes[N].Left >= 0)
+          Frontier.push_back(Nodes[N].Left);
+        if (Nodes[N].Right >= 0)
+          Frontier.push_back(Nodes[N].Right);
+      }
+      for (int64_t Rest : Frontier)
+        ClusterRoots.push_back(Rest);
+      Clusters.push_back(std::move(Cluster));
+    }
+    break;
+  }
+  case LayoutScheme::DepthFirst: {
+    // Creation order is preorder already.
+    std::vector<int64_t> Order(Nodes.size());
+    std::iota(Order.begin(), Order.end(), 0);
+    Chunk(Order);
+    break;
+  }
+  case LayoutScheme::Bfs: {
+    std::vector<int64_t> Order;
+    Order.reserve(Nodes.size());
+    std::deque<int64_t> Queue{0};
+    while (!Queue.empty()) {
+      int64_t N = Queue.front();
+      Queue.pop_front();
+      Order.push_back(N);
+      if (Nodes[N].Left >= 0)
+        Queue.push_back(Nodes[N].Left);
+      if (Nodes[N].Right >= 0)
+        Queue.push_back(Nodes[N].Right);
+    }
+    Chunk(Order);
+    break;
+  }
+  case LayoutScheme::Random: {
+    std::vector<int64_t> Order(Nodes.size());
+    std::iota(Order.begin(), Order.end(), 0);
+    Xoshiro256 Rng(Seed);
+    Rng.shuffle(Order);
+    Chunk(Order);
+    break;
+  }
+  }
+  return Clusters;
+}
+
+char *allocRegion(uint64_t Bytes, uint64_t Align) {
+  void *Memory = std::aligned_alloc(Align, Bytes);
+  if (!Memory) {
+    std::fprintf(stderr, "ccl: compact tree region allocation failed\n");
+    std::abort();
+  }
+  return static_cast<char *>(Memory);
+}
+
+} // namespace
+
+CompactTree CompactTree::build(uint64_t NumKeys, const CacheParams &Params,
+                               LayoutScheme Scheme, bool Color,
+                               size_t NodesPerBlock, uint64_t Seed) {
+  assert(NumKeys > 0 && "tree must be nonempty");
+  CompactTree Tree;
+  Tree.NumNodes = NumKeys;
+  Tree.NodesPerBlock =
+      NodesPerBlock ? NodesPerBlock
+                    : std::max<size_t>(1, Params.BlockBytes /
+                                              sizeof(CompactBstNode));
+
+  std::vector<TempNode> Temp;
+  Temp.reserve(NumKeys);
+  buildTemp(Temp, 0, NumKeys);
+
+  std::vector<std::vector<int64_t>> Clusters =
+      formClusters(Temp, Scheme, Tree.NodesPerBlock, Seed);
+
+  OffsetLayout Layout(Params, Color);
+  std::vector<uint32_t> Offsets(Temp.size());
+  for (const auto &Cluster : Clusters) {
+    bool WasHot = false;
+    uint64_t Offset =
+        Layout.place(Cluster.size() * sizeof(CompactBstNode), WasHot);
+    if (WasHot)
+      Tree.HotNodes += Cluster.size();
+    for (size_t I = 0; I < Cluster.size(); ++I) {
+      uint64_t NodeOffset = Offset + I * sizeof(CompactBstNode);
+      assert(NodeOffset < CompactNull && "region exceeds 32-bit offsets");
+      Offsets[Cluster[I]] = static_cast<uint32_t>(NodeOffset);
+    }
+  }
+
+  Tree.RegionBytes = Layout.regionBytes();
+  uint64_t Align = std::max<uint64_t>(Params.CacheSets * Params.BlockBytes,
+                                      Params.PageBytes);
+  Tree.Base.reset(allocRegion(Tree.RegionBytes, Align));
+
+  for (size_t I = 0; I < Temp.size(); ++I) {
+    auto *N = reinterpret_cast<CompactBstNode *>(Tree.Base.get() +
+                                                 Offsets[I]);
+    N->Key = Temp[I].Key;
+    N->Value = Temp[I].Value;
+    N->Left = Temp[I].Left >= 0 ? Offsets[Temp[I].Left] : CompactNull;
+    N->Right = Temp[I].Right >= 0 ? Offsets[Temp[I].Right] : CompactNull;
+  }
+  Tree.RootOffset = Offsets[0];
+  return Tree;
+}
+
+//===----------------------------------------------------------------------===//
+// CompactBTree
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr unsigned CompactMaxKeys = 4;
+
+struct TempBNode {
+  uint16_t Count = 0;
+  uint16_t Leaf = 0;
+  uint32_t Keys[CompactMaxKeys] = {};
+  uint32_t Values[CompactMaxKeys] = {};
+  int64_t Kids[CompactMaxKeys + 1] = {-1, -1, -1, -1, -1};
+  uint32_t MinKey = 0;
+};
+
+} // namespace
+
+CompactBTree CompactBTree::buildFromSorted(
+    const std::vector<uint32_t> &Keys, const CacheParams &Params,
+    double FillFactor, bool Color) {
+  assert(!Keys.empty() && "B-tree needs at least one key");
+  assert(FillFactor > 0.0 && FillFactor <= 1.0 && "bad fill factor");
+
+  unsigned KeysPerLeaf = std::clamp<unsigned>(
+      static_cast<unsigned>(std::lround(CompactMaxKeys * FillFactor)), 1,
+      CompactMaxKeys);
+  unsigned KidsPerNode = KeysPerLeaf + 1;
+
+  std::vector<TempBNode> Pool;
+  std::vector<int64_t> Level;
+
+  for (size_t Begin = 0; Begin < Keys.size(); Begin += KeysPerLeaf) {
+    size_t End = std::min(Begin + KeysPerLeaf, Keys.size());
+    TempBNode Leaf;
+    Leaf.Leaf = 1;
+    for (size_t I = Begin; I < End; ++I) {
+      Leaf.Values[Leaf.Count] = static_cast<uint32_t>(I);
+      Leaf.Keys[Leaf.Count++] = Keys[I];
+    }
+    Leaf.MinKey = Keys[Begin];
+    Level.push_back(static_cast<int64_t>(Pool.size()));
+    Pool.push_back(Leaf);
+  }
+
+  unsigned Height = 1;
+  while (Level.size() > 1) {
+    size_t NumKids = Level.size();
+    size_t NumParents = (NumKids + KidsPerNode - 1) / KidsPerNode;
+    size_t Base = NumKids / NumParents;
+    size_t Extra = NumKids % NumParents;
+    std::vector<int64_t> Next;
+    size_t Cursor = 0;
+    for (size_t P = 0; P < NumParents; ++P) {
+      size_t Take = Base + (P < Extra ? 1 : 0);
+      TempBNode Parent;
+      for (size_t I = 0; I < Take; ++I) {
+        int64_t Kid = Level[Cursor + I];
+        Parent.Kids[I] = Kid;
+        if (I > 0) {
+          Parent.Values[Parent.Count] = Pool[Kid].MinKey / 2;
+          Parent.Keys[Parent.Count++] = Pool[Kid].MinKey;
+        }
+      }
+      Parent.MinKey = Pool[Level[Cursor]].MinKey;
+      Next.push_back(static_cast<int64_t>(Pool.size()));
+      Pool.push_back(Parent);
+      Cursor += Take;
+    }
+    Level = std::move(Next);
+    ++Height;
+  }
+  int64_t RootIndex = Level[0];
+
+  // BFS placement, one block-aligned node per cluster, colored top-down.
+  std::vector<int64_t> Order;
+  Order.reserve(Pool.size());
+  std::deque<int64_t> Queue{RootIndex};
+  while (!Queue.empty()) {
+    int64_t N = Queue.front();
+    Queue.pop_front();
+    Order.push_back(N);
+    if (!Pool[N].Leaf)
+      for (unsigned I = 0; I <= Pool[N].Count; ++I)
+        if (Pool[N].Kids[I] >= 0)
+          Queue.push_back(Pool[N].Kids[I]);
+  }
+
+  OffsetLayout Layout(Params, Color);
+  std::vector<uint32_t> Offsets(Pool.size());
+  for (int64_t Index : Order) {
+    bool WasHot = false;
+    uint64_t Offset = Layout.place(sizeof(CompactBTreeNode), WasHot);
+    assert(Offset < CompactNull && "region exceeds 32-bit offsets");
+    Offsets[Index] = static_cast<uint32_t>(Offset);
+  }
+
+  CompactBTree Tree;
+  Tree.NumNodes = Pool.size();
+  Tree.Height = Height;
+  uint64_t Align = std::max<uint64_t>(Params.CacheSets * Params.BlockBytes,
+                                      Params.PageBytes);
+  Tree.Base.reset(allocRegion(Layout.regionBytes(), Align));
+  for (size_t I = 0; I < Pool.size(); ++I) {
+    auto *N = reinterpret_cast<CompactBTreeNode *>(Tree.Base.get() +
+                                                   Offsets[I]);
+    N->Count = Pool[I].Count;
+    N->Leaf = Pool[I].Leaf;
+    for (unsigned K = 0; K < CompactMaxKeys; ++K) {
+      N->Keys[K] = Pool[I].Keys[K];
+      N->Values[K] = Pool[I].Values[K];
+    }
+    for (unsigned K = 0; K <= CompactMaxKeys; ++K)
+      N->Kids[K] =
+          Pool[I].Kids[K] >= 0 ? Offsets[Pool[I].Kids[K]] : CompactNull;
+  }
+  Tree.RootOffset = Offsets[RootIndex];
+  return Tree;
+}

@@ -1,0 +1,257 @@
+//===- tests/cache_test.cpp - Cache level unit tests ------------------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Cache.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace ccl;
+using namespace ccl::sim;
+
+namespace {
+
+CacheConfig smallDm() { return {1024, 64, 1, 1}; } // 16 sets.
+CacheConfig small2Way() { return {2048, 64, 2, 1} /* 16 sets */; }
+
+} // namespace
+
+TEST(CacheConfig, Geometry) {
+  CacheConfig C = smallDm();
+  EXPECT_EQ(C.numSets(), 16u);
+  EXPECT_EQ(C.numBlocks(), 16u);
+  EXPECT_EQ(C.blockAddr(0), 0u);
+  EXPECT_EQ(C.blockAddr(63), 0u);
+  EXPECT_EQ(C.blockAddr(64), 1u);
+  EXPECT_EQ(C.setIndex(64 * 16), 0u); // Wraps around the sets.
+  EXPECT_EQ(C.setIndex(64 * 17), 1u);
+}
+
+TEST(CacheConfig, Validity) {
+  EXPECT_TRUE(smallDm().isValid());
+  EXPECT_TRUE(small2Way().isValid());
+  CacheConfig Bad{1000, 64, 1, 1}; // Not a power of two.
+  EXPECT_FALSE(Bad.isValid());
+  CacheConfig TooSmall{64, 128, 1, 1};
+  EXPECT_FALSE(TooSmall.isValid());
+}
+
+TEST(CacheConfig, Presets) {
+  HierarchyConfig E = HierarchyConfig::ultraSparcE5000();
+  EXPECT_TRUE(E.isValid());
+  EXPECT_EQ(E.L1.CapacityBytes, 16u * 1024);
+  EXPECT_EQ(E.L1.BlockBytes, 16u);
+  EXPECT_EQ(E.L2.CapacityBytes, 1024u * 1024);
+  EXPECT_EQ(E.L2.BlockBytes, 64u);
+  EXPECT_EQ(E.MemoryLatency, 64u);
+
+  HierarchyConfig R = HierarchyConfig::rsimTable1();
+  EXPECT_TRUE(R.isValid());
+  EXPECT_EQ(R.L2.Associativity, 2u);
+  EXPECT_EQ(R.L2.BlockBytes, 128u);
+  EXPECT_EQ(R.MemoryLatency, 60u);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache C(smallDm());
+  EXPECT_FALSE(C.access(0x1000, false).Hit);
+  EXPECT_TRUE(C.access(0x1000, false).Hit);
+  EXPECT_TRUE(C.access(0x103F, false).Hit); // Same 64-byte block.
+  EXPECT_FALSE(C.access(0x1040, false).Hit); // Next block.
+  EXPECT_EQ(C.hits(), 2u);
+  EXPECT_EQ(C.misses(), 2u);
+}
+
+TEST(Cache, DirectMappedConflict) {
+  Cache C(smallDm());
+  // 16 sets of 64B: addresses 0 and 1024 map to set 0.
+  C.access(0, false);
+  C.access(1024, false);
+  EXPECT_FALSE(C.contains(0));
+  EXPECT_TRUE(C.contains(1024));
+  EXPECT_FALSE(C.access(0, false).Hit); // Evicted.
+}
+
+TEST(Cache, TwoWayAbsorbsOneConflict) {
+  Cache C(small2Way());
+  C.access(0, false);
+  C.access(1024, false); // Same set, second way.
+  EXPECT_TRUE(C.contains(0));
+  EXPECT_TRUE(C.contains(1024));
+  C.access(2048, false); // Third block in set evicts LRU (addr 0).
+  EXPECT_FALSE(C.contains(0));
+  EXPECT_TRUE(C.contains(1024));
+  EXPECT_TRUE(C.contains(2048));
+}
+
+TEST(Cache, LruOrderRespectsUse) {
+  Cache C(small2Way());
+  C.access(0, false);
+  C.access(1024, false);
+  C.access(0, false); // Touch 0: now 1024 is LRU.
+  C.access(2048, false);
+  EXPECT_TRUE(C.contains(0));
+  EXPECT_FALSE(C.contains(1024));
+}
+
+TEST(Cache, WritebackOnDirtyEviction) {
+  Cache C(smallDm());
+  C.access(0, /*IsWrite=*/true);
+  CacheAccessResult R = C.access(1024, false); // Evicts dirty block 0.
+  EXPECT_TRUE(R.Evicted);
+  EXPECT_TRUE(R.WritebackVictim);
+  EXPECT_EQ(R.VictimBlock, 0u);
+  EXPECT_EQ(C.writebacks(), 1u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback) {
+  Cache C(smallDm());
+  C.access(0, false);
+  CacheAccessResult R = C.access(1024, false);
+  EXPECT_TRUE(R.Evicted);
+  EXPECT_FALSE(R.WritebackVictim);
+}
+
+TEST(Cache, WriteHitMarksDirty) {
+  Cache C(smallDm());
+  C.access(0, false);
+  C.access(0, true); // Write hit dirties the line.
+  CacheAccessResult R = C.access(1024, false);
+  EXPECT_TRUE(R.WritebackVictim);
+}
+
+TEST(Cache, InstallIsIdempotent) {
+  Cache C(smallDm());
+  C.install(0x2000);
+  CacheAccessResult R = C.install(0x2000);
+  EXPECT_TRUE(R.Hit);
+  EXPECT_TRUE(C.contains(0x2000));
+  EXPECT_EQ(C.misses(), 0u); // install() does not count demand stats.
+}
+
+TEST(Cache, InvalidateRemovesAndReportsDirty) {
+  Cache C(smallDm());
+  C.access(0x3000, true);
+  EXPECT_TRUE(C.invalidate(0x3000));
+  EXPECT_FALSE(C.contains(0x3000));
+  EXPECT_FALSE(C.invalidate(0x3000)); // Already gone.
+}
+
+TEST(Cache, ResetClearsEverything) {
+  Cache C(smallDm());
+  C.access(0, true);
+  C.access(64, false);
+  C.reset();
+  EXPECT_EQ(C.hits(), 0u);
+  EXPECT_EQ(C.misses(), 0u);
+  EXPECT_FALSE(C.contains(0));
+}
+
+TEST(Cache, MissRate) {
+  Cache C(smallDm());
+  C.access(0, false);
+  C.access(0, false);
+  C.access(0, false);
+  C.access(64, false);
+  EXPECT_DOUBLE_EQ(C.missRate(), 0.5);
+}
+
+TEST(Cache, WorkingSetFitsNoCapacityMisses) {
+  Cache C(smallDm());
+  // Touch every block once (cold), then re-touch: all hits.
+  for (uint64_t B = 0; B < 16; ++B)
+    C.access(B * 64, false);
+  uint64_t MissesAfterWarmup = C.misses();
+  for (int Round = 0; Round < 10; ++Round)
+    for (uint64_t B = 0; B < 16; ++B)
+      C.access(B * 64, false);
+  EXPECT_EQ(C.misses(), MissesAfterWarmup);
+}
+
+TEST(Cache, StreamLargerThanCapacityAlwaysMisses) {
+  Cache C(smallDm());
+  // 32 blocks cycled through a 16-block direct-mapped cache with
+  // stride = capacity: every access conflicts.
+  for (int Round = 0; Round < 4; ++Round)
+    for (uint64_t B = 0; B < 2; ++B)
+      C.access(B * 1024, false); // Both map to set 0.
+  EXPECT_EQ(C.hits(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parameterized property sweep over geometries.
+//===----------------------------------------------------------------------===//
+
+struct GeometryParam {
+  uint64_t Capacity;
+  uint32_t Block;
+  uint32_t Assoc;
+};
+
+class CacheGeometry : public ::testing::TestWithParam<GeometryParam> {};
+
+TEST_P(CacheGeometry, AccessedBlockIsResident) {
+  auto [Capacity, Block, Assoc] = GetParam();
+  Cache C(CacheConfig{Capacity, Block, Assoc, 1});
+  Xoshiro256 Rng(99);
+  for (int I = 0; I < 2000; ++I) {
+    uint64_t Addr = Rng.nextBounded(1 << 22);
+    C.access(Addr, Rng.nextBounded(2) == 0);
+    EXPECT_TRUE(C.contains(Addr));
+  }
+}
+
+TEST_P(CacheGeometry, ResidentBlocksBoundedByCapacity) {
+  auto [Capacity, Block, Assoc] = GetParam();
+  CacheConfig Config{Capacity, Block, Assoc, 1};
+  Cache C(Config);
+  std::set<uint64_t> Touched;
+  Xoshiro256 Rng(7);
+  for (int I = 0; I < 3000; ++I) {
+    uint64_t Addr = Rng.nextBounded(1 << 22);
+    C.access(Addr, false);
+    Touched.insert(Config.blockAddr(Addr));
+  }
+  uint64_t Resident = 0;
+  for (uint64_t B : Touched)
+    Resident += C.contains(B * Block) ? 1 : 0;
+  EXPECT_LE(Resident, Config.numBlocks());
+}
+
+TEST_P(CacheGeometry, HitsPlusMissesEqualsAccesses) {
+  auto [Capacity, Block, Assoc] = GetParam();
+  Cache C(CacheConfig{Capacity, Block, Assoc, 1});
+  Xoshiro256 Rng(3);
+  const int N = 5000;
+  for (int I = 0; I < N; ++I)
+    C.access(Rng.nextBounded(1 << 20), false);
+  EXPECT_EQ(C.hits() + C.misses(), static_cast<uint64_t>(N));
+}
+
+TEST_P(CacheGeometry, FullAssociativityWithinOneSet) {
+  auto [Capacity, Block, Assoc] = GetParam();
+  CacheConfig Config{Capacity, Block, Assoc, 1};
+  Cache C(Config);
+  // Assoc blocks mapping to the same set must all be resident.
+  uint64_t SetStride = Config.numSets() * Block;
+  for (uint32_t Way = 0; Way < Assoc; ++Way)
+    C.access(Way * SetStride, false);
+  for (uint32_t Way = 0; Way < Assoc; ++Way)
+    EXPECT_TRUE(C.contains(Way * SetStride)) << "way " << Way;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(GeometryParam{1024, 64, 1},
+                      GeometryParam{2048, 64, 2},
+                      GeometryParam{4096, 32, 4},
+                      GeometryParam{16 * 1024, 16, 1},
+                      GeometryParam{256 * 1024, 128, 2},
+                      GeometryParam{1024 * 1024, 64, 1},
+                      GeometryParam{8192, 128, 8}));

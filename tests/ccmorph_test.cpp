@@ -1,0 +1,357 @@
+//===- tests/ccmorph_test.cpp - ccmorph reorganizer tests --------------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CcMorph.h"
+
+#include "sim/AccessPolicy.h"
+#include "support/Zipf.h"
+#include "trees/BinaryTree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+using namespace ccl;
+using namespace ccl::trees;
+
+namespace {
+
+CacheParams smallParams() {
+  CacheParams P;
+  P.CacheSets = 256;
+  P.Associativity = 1;
+  P.BlockBytes = 64;
+  P.PageBytes = 4096;
+  P.HotSets = 64;
+  return P;
+}
+
+/// A unary list node for forest tests.
+struct Cell {
+  uint32_t Id;
+  uint32_t Pad;
+  Cell *Next;
+  Cell *Prev;
+};
+
+struct CellAdapter {
+  static constexpr unsigned MaxKids = 1;
+  static constexpr bool HasParent = true;
+  Cell *getKid(Cell *N, unsigned) const { return N->Next; }
+  void setKid(Cell *N, unsigned, Cell *Kid) const { N->Next = Kid; }
+  Cell *getParent(Cell *N) const { return N->Prev; }
+  void setParent(Cell *N, Cell *P) const { N->Prev = P; }
+};
+
+uint64_t countNodes(const BstNode *Root) {
+  if (!Root)
+    return 0;
+  return 1 + countNodes(Root->Left) + countNodes(Root->Right);
+}
+
+} // namespace
+
+TEST(CcMorph, PreservesTreeStructure) {
+  auto Tree = BinarySearchTree::build(1023, LayoutScheme::Random);
+  CcMorph<BstNode, BstAdapter> Morph(smallParams());
+  BstNode *NewRoot = Morph.reorganize(Tree.root());
+  EXPECT_TRUE(verifyBst(NewRoot, 1023));
+  EXPECT_EQ(Morph.stats().NodeCount, 1023u);
+}
+
+TEST(CcMorph, AllKeysStillSearchable) {
+  const uint64_t N = 511;
+  auto Tree = BinarySearchTree::build(N, LayoutScheme::DepthFirst);
+  CcMorph<BstNode, BstAdapter> Morph(smallParams());
+  BstNode *NewRoot = Morph.reorganize(Tree.root());
+  sim::NativeAccess A;
+  for (uint64_t I = 0; I < N; ++I)
+    EXPECT_NE(bstSearch(NewRoot, BinarySearchTree::keyAt(I), A), nullptr);
+  // Even keys are absent.
+  EXPECT_EQ(bstSearch(NewRoot, 2, A), nullptr);
+  EXPECT_EQ(bstSearch(NewRoot, 0, A), nullptr);
+}
+
+TEST(CcMorph, SourceTreeUntouched) {
+  auto Tree = BinarySearchTree::build(255, LayoutScheme::Bfs);
+  CcMorph<BstNode, BstAdapter> Morph(smallParams());
+  BstNode *NewRoot = Morph.reorganize(Tree.root());
+  EXPECT_NE(NewRoot, Tree.root());
+  EXPECT_TRUE(verifyBst(Tree.root(), 255)); // Original still intact.
+}
+
+TEST(CcMorph, SubtreeClustersShareCacheBlocks) {
+  CacheParams P = smallParams();
+  auto Tree = BinarySearchTree::build(1023, LayoutScheme::Random);
+  CcMorph<BstNode, BstAdapter> Morph(P);
+  BstNode *NewRoot = Morph.reorganize(Tree.root());
+  // With 24-byte nodes and 64-byte blocks, k = 2: each parent shares its
+  // block with its first BFS descendant. Verify the root and its left
+  // child are in one block.
+  uint64_t RootBlock = addrOf(NewRoot) / P.BlockBytes;
+  uint64_t LeftBlock = addrOf(NewRoot->Left) / P.BlockBytes;
+  EXPECT_EQ(RootBlock, LeftBlock);
+  EXPECT_EQ(Morph.stats().NodesPerBlock, 2u);
+}
+
+TEST(CcMorph, ColoringPutsTopOfTreeInHotSets) {
+  CacheParams P = smallParams();
+  auto Tree = BinarySearchTree::build(4095, LayoutScheme::Random);
+  CcMorph<BstNode, BstAdapter> Morph(P);
+  BstNode *NewRoot = Morph.reorganize(Tree.root());
+  const ColoredArena *Arena = Morph.arena();
+  ASSERT_NE(Arena, nullptr);
+  // Root must be hot; hot budget = 64 sets * 64B = 4096B = 170 nodes.
+  EXPECT_TRUE(Arena->isHot(NewRoot));
+  EXPECT_GT(Morph.stats().HotNodes, 0u);
+  EXPECT_LE(Morph.stats().HotNodes * sizeof(BstNode),
+            P.hotCapacityBytes());
+  EXPECT_GT(Morph.stats().ColdNodes, 0u);
+}
+
+TEST(CcMorph, NoColoringLeavesEverythingCold) {
+  auto Tree = BinarySearchTree::build(1023, LayoutScheme::Random);
+  CcMorph<BstNode, BstAdapter> Morph(smallParams());
+  MorphOptions Options;
+  Options.Color = false;
+  BstNode *NewRoot = Morph.reorganize(Tree.root(), Options);
+  EXPECT_TRUE(verifyBst(NewRoot, 1023));
+  EXPECT_EQ(Morph.stats().HotNodes, 0u);
+}
+
+TEST(CcMorph, AllSchemesPreserveSemantics) {
+  for (LayoutScheme Scheme :
+       {LayoutScheme::Subtree, LayoutScheme::DepthFirst, LayoutScheme::Bfs,
+        LayoutScheme::Random}) {
+    auto Tree = BinarySearchTree::build(513, LayoutScheme::DepthFirst);
+    CcMorph<BstNode, BstAdapter> Morph(smallParams());
+    MorphOptions Options;
+    Options.Scheme = Scheme;
+    BstNode *NewRoot = Morph.reorganize(Tree.root(), Options);
+    EXPECT_TRUE(verifyBst(NewRoot, 513)) << layoutSchemeName(Scheme);
+  }
+}
+
+TEST(CcMorph, DepthFirstSchemeLaysPreorderRuns) {
+  auto Tree = BinarySearchTree::build(63, LayoutScheme::Random);
+  CcMorph<BstNode, BstAdapter> Morph(smallParams());
+  MorphOptions Options;
+  Options.Scheme = LayoutScheme::DepthFirst;
+  Options.Color = false;
+  BstNode *NewRoot = Morph.reorganize(Tree.root(), Options);
+  // In a preorder layout the root's left child immediately follows it.
+  EXPECT_EQ(addrOf(NewRoot->Left), addrOf(NewRoot) + sizeof(BstNode));
+}
+
+TEST(CcMorph, ExplicitNodesPerBlock) {
+  auto Tree = BinarySearchTree::build(255, LayoutScheme::Random);
+  CcMorph<BstNode, BstAdapter> Morph(smallParams());
+  MorphOptions Options;
+  Options.NodesPerBlock = 1;
+  BstNode *NewRoot = Morph.reorganize(Tree.root(), Options);
+  EXPECT_TRUE(verifyBst(NewRoot, 255));
+  EXPECT_EQ(Morph.stats().NodesPerBlock, 1u);
+  EXPECT_EQ(Morph.stats().ClusterCount, 255u);
+}
+
+TEST(CcMorph, SingleNodeTree) {
+  auto Tree = BinarySearchTree::build(1, LayoutScheme::DepthFirst);
+  CcMorph<BstNode, BstAdapter> Morph(smallParams());
+  BstNode *NewRoot = Morph.reorganize(Tree.root());
+  EXPECT_TRUE(verifyBst(NewRoot, 1));
+  EXPECT_EQ(Morph.stats().ClusterCount, 1u);
+}
+
+TEST(CcMorph, RemorphIsSafe) {
+  auto Tree = BinarySearchTree::build(511, LayoutScheme::Random);
+  CcMorph<BstNode, BstAdapter> Morph(smallParams());
+  BstNode *Root = Morph.reorganize(Tree.root());
+  // Re-morphing reads from the arena it is about to replace; the copy
+  // must complete before the old arena is released.
+  Root = Morph.reorganize(Root);
+  Root = Morph.reorganize(Root);
+  EXPECT_TRUE(verifyBst(Root, 511));
+}
+
+TEST(CcMorph, ForestSharedArena) {
+  // Three disjoint linked lists (unary trees with parent back-pointers).
+  std::vector<std::vector<Cell>> Backing(3);
+  std::vector<Cell *> Roots;
+  uint32_t Id = 0;
+  for (auto &List : Backing) {
+    List.resize(10);
+    for (size_t I = 0; I < List.size(); ++I) {
+      List[I].Id = Id++;
+      List[I].Next = I + 1 < List.size() ? &List[I + 1] : nullptr;
+      List[I].Prev = I > 0 ? &List[I - 1] : nullptr;
+    }
+    Roots.push_back(&List[0]);
+  }
+
+  CcMorph<Cell, CellAdapter> Morph(smallParams());
+  MorphOptions Options;
+  Options.UpdateParents = true;
+  std::vector<Cell *> NewRoots = Morph.reorganizeForest(Roots, Options);
+  ASSERT_EQ(NewRoots.size(), 3u);
+  EXPECT_EQ(Morph.stats().NodeCount, 30u);
+
+  uint32_t Expected = 0;
+  for (Cell *Root : NewRoots) {
+    Cell *Prev = nullptr;
+    for (Cell *C = Root; C; C = C->Next) {
+      EXPECT_EQ(C->Id, Expected++);
+      EXPECT_EQ(C->Prev, Prev); // Parent pointers rewritten.
+      Prev = C;
+    }
+  }
+}
+
+TEST(CcMorph, ListClusteringPacksConsecutiveCells) {
+  std::vector<Cell> Backing(40);
+  for (size_t I = 0; I < Backing.size(); ++I) {
+    Backing[I].Id = static_cast<uint32_t>(I);
+    Backing[I].Next = I + 1 < Backing.size() ? &Backing[I + 1] : nullptr;
+    Backing[I].Prev = nullptr;
+  }
+  CacheParams P = smallParams();
+  CcMorph<Cell, CellAdapter> Morph(P);
+  Cell *Root = Morph.reorganize(&Backing[0]);
+  // 24-byte cells, 64-byte blocks: pairs of consecutive cells share a
+  // block after clustering.
+  EXPECT_EQ(addrOf(Root) / P.BlockBytes, addrOf(Root->Next) / P.BlockBytes);
+}
+
+TEST(CcMorph, NewNodesAreDistinctFromOld) {
+  auto Tree = BinarySearchTree::build(127, LayoutScheme::Bfs);
+  std::set<const BstNode *> OldNodes;
+  std::vector<const BstNode *> Stack{Tree.root()};
+  while (!Stack.empty()) {
+    const BstNode *N = Stack.back();
+    Stack.pop_back();
+    OldNodes.insert(N);
+    if (N->Left)
+      Stack.push_back(N->Left);
+    if (N->Right)
+      Stack.push_back(N->Right);
+  }
+  CcMorph<BstNode, BstAdapter> Morph(smallParams());
+  BstNode *NewRoot = Morph.reorganize(Tree.root());
+  Stack.push_back(NewRoot);
+  while (!Stack.empty()) {
+    const BstNode *N = Stack.back();
+    Stack.pop_back();
+    EXPECT_FALSE(OldNodes.count(N));
+    if (N->Left)
+      Stack.push_back(N->Left);
+    if (N->Right)
+      Stack.push_back(N->Right);
+  }
+}
+
+TEST(CcMorph, StatsAccounting) {
+  auto Tree = BinarySearchTree::build(1023, LayoutScheme::Random);
+  CcMorph<BstNode, BstAdapter> Morph(smallParams());
+  Morph.reorganize(Tree.root());
+  const MorphStats &S = Morph.stats();
+  EXPECT_EQ(S.HotNodes + S.ColdNodes, S.NodeCount);
+  EXPECT_GE(S.ClusterCount, S.NodeCount / S.NodesPerBlock);
+  EXPECT_GE(S.ArenaFrames, 1u);
+}
+
+// Parameterized: morph correctness across tree sizes and cluster sizes.
+class MorphSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {};
+
+TEST_P(MorphSweep, StructurePreserved) {
+  auto [N, K] = GetParam();
+  auto Tree = BinarySearchTree::build(N, LayoutScheme::Random, N * 7 + K);
+  CcMorph<BstNode, BstAdapter> Morph(smallParams());
+  MorphOptions Options;
+  Options.NodesPerBlock = K;
+  BstNode *NewRoot = Morph.reorganize(Tree.root(), Options);
+  EXPECT_TRUE(verifyBst(NewRoot, N));
+  EXPECT_EQ(countNodes(NewRoot), N);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndClusters, MorphSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 7, 64, 100, 1023, 5000),
+                       ::testing::Values(1, 2, 3, 5, 8)));
+
+//===----------------------------------------------------------------------===//
+// Profile-guided reorganization (paper §7 future work)
+//===----------------------------------------------------------------------===//
+
+TEST(CcMorphProfiled, PreservesStructure) {
+  auto Tree = BinarySearchTree::build(1023, LayoutScheme::Random);
+  CcMorph<BstNode, BstAdapter> Morph(smallParams());
+  CcMorph<BstNode, BstAdapter>::Profile Counts;
+  sim::NativeAccess A;
+  for (uint64_t I = 0; I < 1023; I += 3)
+    bstSearchProfiled(Tree.root(), BinarySearchTree::keyAt(I), A, Counts);
+  BstNode *NewRoot = Morph.reorganizeProfiled(Tree.root(), Counts);
+  EXPECT_TRUE(verifyBst(NewRoot, 1023));
+}
+
+TEST(CcMorphProfiled, HotRegionFollowsCounts) {
+  // Count only the nodes along the right spine heavily; they must end up
+  // hot even though half of them are far from the root's BFS frontier.
+  auto Tree = BinarySearchTree::build(4095, LayoutScheme::Random);
+  CcMorph<BstNode, BstAdapter>::Profile Counts;
+  std::vector<const BstNode *> Spine;
+  for (BstNode *N = Tree.root(); N; N = N->Right) {
+    Counts[N] = 1000000;
+    Spine.push_back(N);
+  }
+
+  CacheParams P = smallParams();
+  CcMorph<BstNode, BstAdapter> Morph(P);
+  BstNode *NewRoot = Morph.reorganizeProfiled(Tree.root(), Counts);
+  ASSERT_TRUE(verifyBst(NewRoot, 4095));
+
+  // Walk the NEW right spine: every node must sit in a hot set.
+  const ColoredArena *Arena = Morph.arena();
+  unsigned HotOnSpine = 0;
+  unsigned SpineLen = 0;
+  for (const BstNode *N = NewRoot; N; N = N->Right) {
+    HotOnSpine += Arena->isHot(N) ? 1 : 0;
+    ++SpineLen;
+  }
+  EXPECT_EQ(HotOnSpine, SpineLen);
+  // And uncounted deep-left leaves must be cold (budget went to the
+  // spine, not to BFS order).
+  const BstNode *DeepLeft = NewRoot;
+  while (DeepLeft->Left)
+    DeepLeft = DeepLeft->Left;
+  EXPECT_FALSE(Arena->isHot(DeepLeft));
+}
+
+TEST(CcMorphProfiled, EmptyProfileLeavesEverythingCold) {
+  // No counted nodes: nothing qualifies for the hot region.
+  auto Tree = BinarySearchTree::build(511, LayoutScheme::Random);
+  CcMorph<BstNode, BstAdapter> Morph(smallParams());
+  CcMorph<BstNode, BstAdapter>::Profile Empty;
+  BstNode *NewRoot = Morph.reorganizeProfiled(Tree.root(), Empty);
+  EXPECT_TRUE(verifyBst(NewRoot, 511));
+  EXPECT_EQ(Morph.stats().HotNodes, 0u);
+}
+
+TEST(CcMorphProfiled, RespectsHotBudget) {
+  auto Tree = BinarySearchTree::build(8191, LayoutScheme::Random);
+  CcMorph<BstNode, BstAdapter>::Profile Counts;
+  sim::NativeAccess A;
+  Xoshiro256 Rng(5);
+  for (int I = 0; I < 5000; ++I)
+    bstSearchProfiled(Tree.root(),
+                      BinarySearchTree::keyAt(Rng.nextBounded(8191)), A,
+                      Counts);
+  CacheParams P = smallParams();
+  CcMorph<BstNode, BstAdapter> Morph(P);
+  Morph.reorganizeProfiled(Tree.root(), Counts);
+  EXPECT_LE(Morph.stats().HotNodes * sizeof(BstNode), P.hotCapacityBytes());
+  EXPECT_GT(Morph.stats().HotNodes, 0u);
+}

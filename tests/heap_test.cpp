@@ -1,0 +1,332 @@
+//===- tests/heap_test.cpp - CcHeap unit tests --------------------------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/CcHeap.h"
+
+#include "support/Align.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <vector>
+
+using namespace ccl;
+using namespace ccl::heap;
+
+TEST(HeapStrategyName, Names) {
+  EXPECT_STREQ(strategyName(CcStrategy::Closest), "closest");
+  EXPECT_STREQ(strategyName(CcStrategy::NewBlock), "new-block");
+  EXPECT_STREQ(strategyName(CcStrategy::FirstFit), "first-fit");
+}
+
+TEST(CcHeap, PlainAllocationBasics) {
+  CcHeap Heap;
+  void *P = Heap.allocate(24);
+  ASSERT_NE(P, nullptr);
+  EXPECT_TRUE(Heap.owns(P));
+  EXPECT_TRUE(isAligned(addrOf(P), 8));
+  EXPECT_EQ(Heap.sizeOf(P), 24u);
+  std::memset(P, 0xAB, 24);
+}
+
+TEST(CcHeap, SizeRoundsUpToEight) {
+  CcHeap Heap;
+  void *P = Heap.allocate(3);
+  EXPECT_EQ(Heap.sizeOf(P), 8u);
+}
+
+TEST(CcHeap, SequentialAllocationsClusterInBlocks) {
+  CcHeap Heap;
+  // 24B payload + 8B header = 32: two per 64-byte block.
+  void *A = Heap.allocate(24);
+  void *B = Heap.allocate(24);
+  void *C = Heap.allocate(24);
+  EXPECT_EQ(Heap.blockOf(A), Heap.blockOf(B));
+  EXPECT_NE(Heap.blockOf(A), Heap.blockOf(C));
+  EXPECT_EQ(Heap.pageOf(A), Heap.pageOf(C));
+}
+
+TEST(CcHeap, OwnsRejectsForeignPointers) {
+  CcHeap Heap;
+  int Local = 0;
+  EXPECT_FALSE(Heap.owns(&Local));
+  EXPECT_FALSE(Heap.owns(nullptr));
+  EXPECT_EQ(Heap.pageOf(&Local), 0u);
+}
+
+TEST(CcHeap, DeallocateAndReuseAddress) {
+  CcHeap Heap;
+  void *P = Heap.allocate(40);
+  Heap.deallocate(P); // Sole chunk in its block: block reclaimed.
+  EXPECT_EQ(Heap.stats().BlocksReclaimed, 1u);
+  void *Q = Heap.allocate(40);
+  EXPECT_EQ(P, Q); // Reclaimed block is re-carved from its start.
+}
+
+TEST(CcHeap, FreeListRecyclesWhenBlockStillLive) {
+  CcHeap Heap;
+  void *A = Heap.allocate(24); // Two 32-byte chunks share block 0.
+  void *B = Heap.allocate(24);
+  Heap.deallocate(A); // Partner B is live: A goes to the free list.
+  EXPECT_EQ(Heap.stats().BlocksReclaimed, 0u);
+  void *C = Heap.allocate(24);
+  EXPECT_EQ(C, A); // LIFO free-list reuse.
+  EXPECT_EQ(Heap.stats().FreeListReuses, 1u);
+  (void)B;
+}
+
+TEST(CcHeap, BlockReclamationInvalidatesFreeList) {
+  CcHeap Heap;
+  void *A = Heap.allocate(24);
+  void *B = Heap.allocate(24);
+  Heap.deallocate(A); // To free list (B live).
+  Heap.deallocate(B); // Block empties: reclaimed; A's entry is stale.
+  EXPECT_EQ(Heap.stats().BlocksReclaimed, 1u);
+  // Both addresses must be reusable exactly once (no double handout).
+  void *C = Heap.allocate(24);
+  void *D = Heap.allocate(24);
+  EXPECT_NE(C, D);
+  std::memset(C, 1, 24);
+  std::memset(D, 2, 24);
+}
+
+TEST(CcHeap, ReclaimedBlockAcceptsCoLocation) {
+  CcHeap Heap;
+  void *Near = Heap.allocate(48); // Fills most of block 0.
+  void *Filler = Heap.allocate(48); // Block 1.
+  Heap.deallocate(Filler); // Block 1 reclaimed.
+  // Near's block is full; NewBlock must find the reclaimed block 1.
+  void *P = Heap.allocateNear(24, Near, CcStrategy::NewBlock);
+  EXPECT_EQ(Heap.pageOf(P), Heap.pageOf(Near));
+  EXPECT_TRUE(isAligned(addrOf(P) - 8, Heap.config().BlockBytes));
+}
+
+TEST(CcHeap, FreeListKeyedByRoundedSize) {
+  CcHeap Heap;
+  void *Keep = Heap.allocate(33); // Rounds to 40; shares block 0? 48B
+                                  // chunk: block 0 has 16B left.
+  void *P = Heap.allocate(33);    // Block 1.
+  void *Partner = Heap.allocate(8); // Lands in block 1's tail.
+  Heap.deallocate(P);               // Partner live: P hits free list.
+  void *Q = Heap.allocate(40);      // Same rounded class.
+  EXPECT_EQ(P, Q);
+  EXPECT_EQ(Heap.stats().FreeListReuses, 1u);
+  (void)Keep;
+  (void)Partner;
+}
+
+TEST(CcHeap, NearAllocationSameBlock) {
+  CcHeap Heap;
+  void *Near = Heap.allocate(16);
+  void *P = Heap.allocateNear(16, Near, CcStrategy::NewBlock);
+  EXPECT_EQ(Heap.blockOf(P), Heap.blockOf(Near));
+  EXPECT_EQ(Heap.stats().SameBlock, 1u);
+}
+
+TEST(CcHeap, NearAllocationNullHintDegradesToPlain) {
+  CcHeap Heap;
+  void *P = Heap.allocateNear(16, nullptr, CcStrategy::NewBlock);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(Heap.stats().NearCalls, 0u);
+}
+
+TEST(CcHeap, NearAllocationForeignHintDegradesToPlain) {
+  CcHeap Heap;
+  int Local = 0;
+  void *P = Heap.allocateNear(16, &Local, CcStrategy::Closest);
+  ASSERT_NE(P, nullptr);
+  EXPECT_TRUE(Heap.owns(P));
+  EXPECT_EQ(Heap.stats().NearCalls, 0u);
+}
+
+TEST(CcHeap, NewBlockStrategyPicksEmptyBlock) {
+  CcHeap Heap;
+  void *Near = Heap.allocate(48); // 48+8=56: nearly fills block 0.
+  // 24+8 = 32 does not fit in the remaining 8 bytes of Near's block.
+  void *P = Heap.allocateNear(24, Near, CcStrategy::NewBlock);
+  EXPECT_NE(Heap.blockOf(P), Heap.blockOf(Near));
+  EXPECT_EQ(Heap.pageOf(P), Heap.pageOf(Near));
+  EXPECT_EQ(Heap.stats().SamePage, 1u);
+  // The chosen block must have been empty: the chunk starts at offset 0.
+  EXPECT_TRUE(isAligned(addrOf(P) - 8, Heap.config().BlockBytes));
+}
+
+TEST(CcHeap, ClosestStrategyPicksNearestBlock) {
+  CcHeap Heap;
+  // Fill blocks 0,1,2 fully, leave block 3 partially filled; a closest
+  // allocation near block 1 must land in block 3 only after failing 0/2.
+  void *B0 = Heap.allocate(48);
+  void *B1 = Heap.allocate(48);
+  void *B2 = Heap.allocate(48);
+  (void)B0;
+  (void)B2;
+  // Next plain allocation opens block 3.
+  void *B3 = Heap.allocate(8);
+  // Closest to B1: blocks 0 and 2 are full (56/64 used; 24+8 doesn't
+  // fit), block 3 has room.
+  void *P = Heap.allocateNear(24, B1, CcStrategy::Closest);
+  EXPECT_EQ(Heap.blockOf(P), Heap.blockOf(B3));
+}
+
+TEST(CcHeap, FirstFitStrategyScansFromPageStart) {
+  CcHeap Heap;
+  void *B0 = Heap.allocate(16); // Block 0: 24/64 used, room remains.
+  void *B1 = Heap.allocate(48); // Block 1: nearly full.
+  void *B2 = Heap.allocate(48); // Block 2: nearly full — hint here.
+  (void)B1;
+  // First-fit near B2: block 2 full for 24B, block 0 has room.
+  void *P = Heap.allocateNear(24, B2, CcStrategy::FirstFit);
+  EXPECT_EQ(Heap.blockOf(P), Heap.blockOf(B0));
+}
+
+TEST(CcHeap, SpillsToOverflowPageWhenPageFull) {
+  HeapConfig Config;
+  Config.PageBytes = 4096;
+  Config.BlockBytes = 64;
+  CcHeap Heap(Config);
+  void *Near = Heap.allocate(48);
+  // Fill the whole page: 64 blocks, each takes one 48+8=56B chunk.
+  for (int I = 0; I < 63; ++I)
+    Heap.allocate(48);
+  void *P = Heap.allocateNear(48, Near, CcStrategy::NewBlock);
+  EXPECT_NE(Heap.pageOf(P), Heap.pageOf(Near));
+  EXPECT_EQ(Heap.stats().PageSpills, 1u);
+}
+
+TEST(CcHeap, LargeAllocationSpansBlocks) {
+  CcHeap Heap;
+  void *P = Heap.allocate(200); // > 64-byte block.
+  ASSERT_NE(P, nullptr);
+  EXPECT_TRUE(Heap.owns(P));
+  EXPECT_EQ(Heap.sizeOf(P), 200u);
+  std::memset(P, 0x5A, 200);
+}
+
+TEST(CcHeap, LargeAllocationsDoNotOverlapSmall) {
+  CcHeap Heap;
+  std::vector<std::pair<uint64_t, uint64_t>> Ranges;
+  Xoshiro256 Rng(21);
+  for (int I = 0; I < 400; ++I) {
+    size_t Bytes = 1 + Rng.nextBounded(300);
+    auto *P = static_cast<char *>(Heap.allocate(Bytes));
+    std::memset(P, int(I), Bytes);
+    Ranges.push_back({addrOf(P), addrOf(P) + Bytes});
+  }
+  std::sort(Ranges.begin(), Ranges.end());
+  for (size_t I = 1; I < Ranges.size(); ++I)
+    EXPECT_LE(Ranges[I - 1].second, Ranges[I].first);
+}
+
+TEST(CcHeap, NearAllocationsDoNotOverlap) {
+  CcHeap Heap;
+  Xoshiro256 Rng(31);
+  std::vector<std::pair<uint64_t, uint64_t>> Ranges;
+  void *Near = Heap.allocate(16);
+  Ranges.push_back({addrOf(Near), addrOf(Near) + 16});
+  for (int I = 0; I < 500; ++I) {
+    size_t Bytes = 1 + Rng.nextBounded(48);
+    CcStrategy S = static_cast<CcStrategy>(Rng.nextBounded(3));
+    auto *P = static_cast<char *>(Heap.allocateNear(Bytes, Near, S));
+    std::memset(P, int(I), Bytes);
+    Ranges.push_back({addrOf(P), addrOf(P) + Bytes});
+    if (Rng.nextBounded(4) == 0)
+      Near = P; // Chase the hint around.
+  }
+  std::sort(Ranges.begin(), Ranges.end());
+  for (size_t I = 1; I < Ranges.size(); ++I)
+    EXPECT_LE(Ranges[I - 1].second, Ranges[I].first);
+}
+
+TEST(CcHeap, StatsTrackCalls) {
+  CcHeap Heap;
+  void *A = Heap.allocate(16);
+  Heap.allocateNear(16, A, CcStrategy::NewBlock);
+  Heap.deallocate(A);
+  const HeapStats &S = Heap.stats();
+  EXPECT_EQ(S.AllocCalls, 2u);
+  EXPECT_EQ(S.NearCalls, 1u);
+  EXPECT_EQ(S.FreeCalls, 1u);
+  EXPECT_GE(S.PagesAllocated, 1u);
+  EXPECT_GT(S.BytesLive, 0u);
+}
+
+TEST(CcHeap, FootprintIsPageGranular) {
+  CcHeap Heap;
+  Heap.allocate(16);
+  EXPECT_EQ(Heap.footprintBytes(),
+            Heap.stats().PagesAllocated * Heap.config().PageBytes);
+}
+
+TEST(CcHeap, BytesLiveDropsOnFree) {
+  CcHeap Heap;
+  void *P = Heap.allocate(100);
+  uint64_t Live = Heap.stats().BytesLive;
+  Heap.deallocate(P);
+  EXPECT_LT(Heap.stats().BytesLive, Live);
+}
+
+TEST(CcHeap, SameBlockRateComputed) {
+  CcHeap Heap;
+  void *Near = Heap.allocate(8);
+  for (int I = 0; I < 3; ++I)
+    Heap.allocateNear(8, Near, CcStrategy::NewBlock);
+  EXPECT_GT(Heap.stats().sameBlockRate(), 0.0);
+  EXPECT_LE(Heap.stats().sameBlockRate(), 1.0);
+}
+
+TEST(CcHeap, DeallocateNullIsNoop) {
+  CcHeap Heap;
+  Heap.deallocate(nullptr);
+  EXPECT_EQ(Heap.stats().FreeCalls, 0u);
+}
+
+TEST(CcHeapDeathTest, DoubleFreeAsserts) {
+  CcHeap Heap;
+  void *P = Heap.allocate(16);
+  Heap.deallocate(P);
+  EXPECT_DEATH(Heap.deallocate(P), "double free|bad chunk");
+}
+
+TEST(CcHeap, FuzzAllocFreeKeepsIntegrity) {
+  CcHeap Heap;
+  Xoshiro256 Rng(77);
+  std::map<void *, std::pair<size_t, char>> Live;
+  for (int Step = 0; Step < 4000; ++Step) {
+    bool DoFree = !Live.empty() && Rng.nextBounded(3) == 0;
+    if (DoFree) {
+      auto It = Live.begin();
+      std::advance(It, Rng.nextBounded(std::min<size_t>(Live.size(), 16)));
+      auto [Ptr, Info] = *It;
+      auto *Bytes = static_cast<unsigned char *>(Ptr);
+      for (size_t I = 0; I < Info.first; ++I)
+        ASSERT_EQ(Bytes[I], static_cast<unsigned char>(Info.second));
+      Heap.deallocate(Ptr);
+      Live.erase(It);
+      continue;
+    }
+    size_t Bytes = 1 + Rng.nextBounded(120);
+    void *P;
+    if (!Live.empty() && Rng.nextBounded(2) == 0) {
+      CcStrategy S = static_cast<CcStrategy>(Rng.nextBounded(3));
+      P = Heap.allocateNear(Bytes, Live.begin()->first, S);
+    } else {
+      P = Heap.allocate(Bytes);
+    }
+    char Fill = static_cast<char>(Rng.nextBounded(256));
+    std::memset(P, Fill, Bytes);
+    ASSERT_FALSE(Live.count(P)) << "allocator returned a live chunk";
+    Live[P] = {Bytes, Fill};
+  }
+  // Verify every surviving chunk one final time.
+  for (auto &[Ptr, Info] : Live) {
+    auto *Bytes = static_cast<unsigned char *>(Ptr);
+    for (size_t I = 0; I < Info.first; ++I)
+      ASSERT_EQ(Bytes[I], static_cast<unsigned char>(Info.second));
+  }
+}

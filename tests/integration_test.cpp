@@ -1,0 +1,213 @@
+//===- tests/integration_test.cpp - Cross-module integration tests -----------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// These tests check the paper's *qualitative* claims end to end on small
+// configurations: cache-conscious layouts must actually reduce simulated
+// misses, coloring must protect the hot working set, and the analytic
+// model must track the simulator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/CTreeModel.h"
+#include "olden/Health.h"
+#include "olden/Mst.h"
+#include "sim/AccessPolicy.h"
+#include "support/Random.h"
+#include "trees/BTree.h"
+#include "trees/BinaryTree.h"
+#include "trees/CTree.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccl;
+using namespace ccl::trees;
+
+namespace {
+
+/// E5000-shaped but smaller so tests run fast: 64KB direct-mapped L2
+/// with 64B blocks (1024 sets), 8KB direct-mapped L1.
+sim::HierarchyConfig scaledE5000() {
+  sim::HierarchyConfig Config;
+  Config.L1 = {8 * 1024, 16, 1, 1};
+  Config.L2 = {64 * 1024, 64, 1, 6};
+  Config.MemoryLatency = 64;
+  Config.Tlb = {true, 32, 4096, 40};
+  return Config;
+}
+
+/// Runs Searches random lookups and reports total simulated cycles.
+template <typename TreeT>
+uint64_t simulateSearches(const TreeT &Tree, uint64_t NumKeys,
+                          unsigned Searches, uint64_t Seed,
+                          const sim::HierarchyConfig &Config) {
+  sim::MemoryHierarchy M(Config);
+  sim::SimAccess A(M);
+  Xoshiro256 Rng(Seed);
+  for (unsigned I = 0; I < Searches; ++I) {
+    uint32_t Key = BinarySearchTree::keyAt(Rng.nextBounded(NumKeys));
+    Tree.search(Key, A);
+  }
+  return M.now();
+}
+
+} // namespace
+
+TEST(Integration, CTreeBeatsRandomLayout) {
+  const uint64_t N = 65535; // 1.5MB of nodes >> 64KB L2.
+  sim::HierarchyConfig Config = scaledE5000();
+  auto Random = BinarySearchTree::build(N, LayoutScheme::Random);
+
+  CTree CT(CacheParams::fromHierarchy(Config));
+  CT.adopt(BinarySearchTree::build(N, LayoutScheme::Random).root());
+
+  uint64_t RandomCycles = simulateSearches(Random, N, 3000, 5, Config);
+  uint64_t CTreeCycles = simulateSearches(CT, N, 3000, 5, Config);
+  // The paper reports 4-5x on real hardware; demand at least 2x here.
+  EXPECT_GT(RandomCycles, 2 * CTreeCycles)
+      << "random=" << RandomCycles << " ctree=" << CTreeCycles;
+}
+
+TEST(Integration, CTreeBeatsDepthFirstLayout) {
+  const uint64_t N = 65535;
+  sim::HierarchyConfig Config = scaledE5000();
+  auto Dfs = BinarySearchTree::build(N, LayoutScheme::DepthFirst);
+  CTree CT(CacheParams::fromHierarchy(Config));
+  CT.adopt(BinarySearchTree::build(N, LayoutScheme::Random).root());
+
+  uint64_t DfsCycles = simulateSearches(Dfs, N, 3000, 5, Config);
+  uint64_t CTreeCycles = simulateSearches(CT, N, 3000, 5, Config);
+  EXPECT_GT(DfsCycles, CTreeCycles);
+}
+
+TEST(Integration, ColoringAddsOnTopOfClustering) {
+  const uint64_t N = 65535;
+  sim::HierarchyConfig Config = scaledE5000();
+  CacheParams Params = CacheParams::fromHierarchy(Config);
+
+  CTree Clustered(Params);
+  MorphOptions ClusterOnly;
+  ClusterOnly.Color = false;
+  Clustered.adopt(BinarySearchTree::build(N, LayoutScheme::Random).root(),
+                  ClusterOnly);
+
+  CTree Colored(Params);
+  Colored.adopt(BinarySearchTree::build(N, LayoutScheme::Random).root());
+
+  uint64_t ClusterCycles = simulateSearches(Clustered, N, 4000, 9, Config);
+  uint64_t ColorCycles = simulateSearches(Colored, N, 4000, 9, Config);
+  EXPECT_GT(ClusterCycles, ColorCycles);
+}
+
+TEST(Integration, ModelTracksSimulator) {
+  // Compare the analytic speedup prediction with the simulated speedup
+  // for a mid-sized tree; Figure 10 reports ~15% model underestimation,
+  // so accept a generous band.
+  const uint64_t N = 65535;
+  sim::HierarchyConfig Config = scaledE5000();
+  Config.Tlb.Enabled = false; // The model does not capture TLB effects.
+  CacheParams Params = CacheParams::fromHierarchy(Config);
+
+  auto Random = BinarySearchTree::build(N, LayoutScheme::Random);
+  CTree CT(Params);
+  CT.adopt(BinarySearchTree::build(N, LayoutScheme::Random).root());
+
+  // Warm up each configuration, then measure steady state.
+  sim::MemoryHierarchy MR(Config);
+  sim::SimAccess AR(MR);
+  sim::MemoryHierarchy MC(Config);
+  sim::SimAccess AC(MC);
+  Xoshiro256 Rng(3);
+  for (unsigned I = 0; I < 2000; ++I) {
+    uint32_t Key = BinarySearchTree::keyAt(Rng.nextBounded(N));
+    Random.search(Key, AR);
+    CT.search(Key, AC);
+  }
+  uint64_t WarmR = MR.now();
+  uint64_t WarmC = MC.now();
+  for (unsigned I = 0; I < 6000; ++I) {
+    uint32_t Key = BinarySearchTree::keyAt(Rng.nextBounded(N));
+    Random.search(Key, AR);
+    CT.search(Key, AC);
+  }
+  double Measured = double(MR.now() - WarmR) / double(MC.now() - WarmC);
+
+  model::CTreeModel Model(N, Params, 2);
+  double Predicted =
+      Model.predictedSpeedup(model::MemoryTimings::ultraSparcE5000());
+
+  EXPECT_GT(Measured, 1.0);
+  EXPECT_GT(Predicted, 1.0);
+  // The closed form assumes a worst-case naive layout (L2 miss rate 1);
+  // the simulated naive tree keeps some top levels resident, so the
+  // prediction overshoots. The paper positions the model as comparative
+  // ("not to estimate the exact performance ... but to compare"): demand
+  // the right ordering and the right magnitude within a factor of two.
+  EXPECT_LT(Predicted / Measured, 2.0);
+  EXPECT_GT(Predicted / Measured, 0.75);
+
+  // Sharper check of the Figure 8 speedup equation itself: feed the
+  // *measured* miss rates into it and compare with the cycle ratio.
+  double FromMeasuredRates = model::speedup(
+      model::MemoryTimings::ultraSparcE5000(), MR.stats().l1MissRate(),
+      MR.stats().l2MissRate(), MC.stats().l1MissRate(),
+      MC.stats().l2MissRate());
+  EXPECT_LT(std::abs(FromMeasuredRates - Measured) / Measured, 0.35)
+      << "fig8 " << FromMeasuredRates << " measured " << Measured;
+}
+
+TEST(Integration, CcMallocReducesHealthCycles) {
+  olden::HealthConfig C;
+  C.MaxLevel = 2;
+  C.Steps = 300;
+  sim::HierarchyConfig Config = scaledE5000();
+  auto Base = olden::runHealth(C, olden::Variant::Base, &Config);
+  auto NewBlock =
+      olden::runHealth(C, olden::Variant::CcMallocNewBlock, &Config);
+  EXPECT_EQ(Base.Checksum, NewBlock.Checksum);
+  EXPECT_LT(NewBlock.Stats.totalCycles(), Base.Stats.totalCycles());
+}
+
+TEST(Integration, CcMorphReducesMstCycles) {
+  // Sized so the adjacency structure (~150KB) exceeds the 64KB L2:
+  // with an in-cache working set, reorganization has nothing to win.
+  olden::MstConfig C;
+  C.NumVertices = 256;
+  C.Degree = 16;
+  sim::HierarchyConfig Config = scaledE5000();
+  auto Base = olden::runMst(C, olden::Variant::Base, &Config);
+  auto Morph = olden::runMst(C, olden::Variant::CcMorphColor, &Config);
+  EXPECT_EQ(Base.Checksum, Morph.Checksum);
+  EXPECT_LT(Morph.Stats.totalCycles(), Base.Stats.totalCycles());
+}
+
+TEST(Integration, NullHintControlIsNotFasterThanCcMalloc) {
+  // §4.4 control: replacing all hints with null must lose the benefit.
+  olden::HealthConfig C;
+  C.MaxLevel = 2;
+  C.Steps = 300;
+  sim::HierarchyConfig Config = scaledE5000();
+  auto Null = olden::runHealth(C, olden::Variant::CcMallocNull, &Config);
+  auto Hinted =
+      olden::runHealth(C, olden::Variant::CcMallocNewBlock, &Config);
+  EXPECT_GT(Null.Stats.totalCycles(), Hinted.Stats.totalCycles());
+}
+
+TEST(Integration, ColoredBTreeSearchesRun) {
+  const uint64_t N = 30000;
+  std::vector<uint32_t> Keys(N);
+  for (uint64_t I = 0; I < N; ++I)
+    Keys[I] = BinarySearchTree::keyAt(I);
+  sim::HierarchyConfig Config = scaledE5000();
+  BTree Tree = BTree::buildFromSorted(Keys, CacheParams::fromHierarchy(Config));
+  sim::MemoryHierarchy M(Config);
+  sim::SimAccess A(M);
+  Xoshiro256 Rng(11);
+  unsigned Found = 0;
+  for (int I = 0; I < 2000; ++I)
+    Found += Tree.contains(BinarySearchTree::keyAt(Rng.nextBounded(N)), A);
+  EXPECT_EQ(Found, 2000u);
+  EXPECT_GT(M.stats().L2Misses, 0u);
+}

@@ -1,0 +1,218 @@
+//===- tests/model_test.cpp - Analytic framework tests -----------------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/AnalyticModel.h"
+#include "model/CTreeModel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ccl;
+using namespace ccl::model;
+
+namespace {
+
+CacheParams e5000L2() {
+  // 1MB direct-mapped, 64B blocks -> 16384 sets; hot = half.
+  CacheParams P;
+  P.CacheSets = 16384;
+  P.Associativity = 1;
+  P.BlockBytes = 64;
+  P.HotSets = 8192;
+  return P;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Generic framework (Section 5.1 / 5.2)
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyticModel, NaiveWorstCaseMissesEverything) {
+  LocalityProfile Naive = LocalityProfile::naiveWorstCase(20.0);
+  EXPECT_DOUBLE_EQ(missRate(Naive), 1.0);
+}
+
+TEST(AnalyticModel, SpatialLocalityDividesMisses) {
+  // K = 2 with no reuse: every other element access misses.
+  EXPECT_DOUBLE_EQ(missRate({10.0, 2.0, 0.0}), 0.5);
+}
+
+TEST(AnalyticModel, TemporalReuseSubtracts) {
+  // Half the path is resident: miss rate halves.
+  EXPECT_DOUBLE_EQ(missRate({10.0, 1.0, 5.0}), 0.5);
+}
+
+TEST(AnalyticModel, FullReuseMeansNoMisses) {
+  EXPECT_DOUBLE_EQ(missRate({10.0, 1.0, 10.0}), 0.0);
+}
+
+TEST(AnalyticModel, ReuseClampedToD) {
+  EXPECT_DOUBLE_EQ(missRate({10.0, 1.0, 50.0}), 0.0);
+}
+
+TEST(AnalyticModel, CombinedSpatialTemporal) {
+  // m = (1 - R/D)/K = (1 - 4/16)/2 = 0.375.
+  EXPECT_DOUBLE_EQ(missRate({16.0, 2.0, 4.0}), 0.375);
+}
+
+TEST(AnalyticModel, AccessTimeFormula) {
+  MemoryTimings T{1.0, 6.0, 64.0};
+  // t = (1 + 1*6 + 1*1*64) * D.
+  EXPECT_DOUBLE_EQ(accessTime(T, 1.0, 1.0, 1.0), 71.0);
+  EXPECT_DOUBLE_EQ(accessTime(T, 1.0, 1.0, 10.0), 710.0);
+  // Perfect caching: only hit time remains.
+  EXPECT_DOUBLE_EQ(accessTime(T, 0.0, 0.0, 10.0), 10.0);
+}
+
+TEST(AnalyticModel, SpeedupEqualLayoutsIsOne) {
+  MemoryTimings T = MemoryTimings::ultraSparcE5000();
+  EXPECT_DOUBLE_EQ(speedup(T, 0.5, 0.5, 0.5, 0.5), 1.0);
+}
+
+TEST(AnalyticModel, SpeedupWorstVsPerfect) {
+  MemoryTimings T{1.0, 6.0, 64.0};
+  // Naive misses everywhere (71 cycles/ref) vs pure L1 hits (1).
+  EXPECT_DOUBLE_EQ(speedup(T, 1.0, 1.0, 0.0, 0.0), 71.0);
+}
+
+TEST(AnalyticModel, SpeedupMonotoneInCcMissRate) {
+  MemoryTimings T = MemoryTimings::ultraSparcE5000();
+  double Prev = 0;
+  for (double M2 = 1.0; M2 >= 0.0; M2 -= 0.1) {
+    double S = speedup(T, 1.0, 1.0, 1.0, M2);
+    EXPECT_GT(S, Prev);
+    Prev = S;
+  }
+}
+
+TEST(AnalyticModel, AmortizedApproachesSteadyState) {
+  LocalityProfile P{20.0, 2.0, 10.0};
+  double Steady = missRate(P);
+  double Short = amortizedMissRate(P, 10, 1000);
+  double Long = amortizedMissRate(P, 1000000, 1000);
+  EXPECT_GT(Short, Steady); // Cold start dominates short runs.
+  EXPECT_NEAR(Long, Steady, 0.001);
+}
+
+TEST(AnalyticModel, AmortizedMonotoneInLength) {
+  LocalityProfile P{20.0, 2.0, 12.0};
+  double Prev = 1.0;
+  for (uint64_t N : {10ULL, 100ULL, 1000ULL, 10000ULL}) {
+    double M = amortizedMissRate(P, N, 500);
+    EXPECT_LE(M, Prev + 1e-12);
+    Prev = M;
+  }
+}
+
+TEST(AnalyticModel, NoWarmupMeansSteadyImmediately) {
+  LocalityProfile P{20.0, 2.0, 10.0};
+  EXPECT_DOUBLE_EQ(amortizedMissRate(P, 5, 0), missRate(P));
+}
+
+TEST(AnalyticModel, TimingPresets) {
+  MemoryTimings E = MemoryTimings::ultraSparcE5000();
+  EXPECT_DOUBLE_EQ(E.L1MissPenalty, 6.0);
+  EXPECT_DOUBLE_EQ(E.L2MissPenalty, 64.0);
+  MemoryTimings R = MemoryTimings::rsimTable1();
+  EXPECT_DOUBLE_EQ(R.L1MissPenalty, 9.0);
+  EXPECT_DOUBLE_EQ(R.L2MissPenalty, 60.0);
+}
+
+//===----------------------------------------------------------------------===//
+// C-tree instantiation (Section 5.3, Figure 9)
+//===----------------------------------------------------------------------===//
+
+TEST(CTreeModel, AccessFunctionIsTreeDepth) {
+  CTreeModel M((1 << 21) - 1, e5000L2(), 2);
+  EXPECT_NEAR(M.accessFunctionD(), 21.0, 1e-9);
+}
+
+TEST(CTreeModel, SpatialKMatchesFigure9) {
+  // K = log2(k + 1): the expected number of per-block nodes used.
+  EXPECT_NEAR(CTreeModel(1000, e5000L2(), 3).spatialK(), 2.0, 1e-12);
+  EXPECT_NEAR(CTreeModel(1000, e5000L2(), 1).spatialK(), 1.0, 1e-12);
+}
+
+TEST(CTreeModel, ReuseMatchesFigure9) {
+  // Rs = log2(p*k*a + 1) with p = 8192 hot sets, k = 2, a = 1.
+  CTreeModel M((1 << 21) - 1, e5000L2(), 2);
+  EXPECT_NEAR(M.reuseRs(), std::log2(8192.0 * 2 + 1), 1e-9);
+}
+
+TEST(CTreeModel, ReuseCappedByDepthForSmallTrees) {
+  CTreeModel M(127, e5000L2(), 2); // Whole tree fits in the hot region.
+  EXPECT_NEAR(M.reuseRs(), M.accessFunctionD(), 1e-9);
+  EXPECT_NEAR(M.ccMissRate(), 0.0, 1e-12);
+}
+
+TEST(CTreeModel, MissRateMatchesClosedForm) {
+  CTreeModel M((1 << 21) - 1, e5000L2(), 2);
+  double D = 21.0;
+  double K = std::log2(3.0);
+  double Rs = std::log2(8192.0 * 2 + 1);
+  EXPECT_NEAR(M.ccMissRate(), (1.0 - Rs / D) / K, 1e-9);
+}
+
+TEST(CTreeModel, PredictedSpeedupInPaperBallpark) {
+  // The paper's Figure 10 shows ~4-6.5x predicted speedups for trees of
+  // 2^18..2^22 nodes on the E5000.
+  MemoryTimings T = MemoryTimings::ultraSparcE5000();
+  for (unsigned Bits = 18; Bits <= 22; ++Bits) {
+    CTreeModel M((1ULL << Bits) - 1, e5000L2(), 2);
+    double S = M.predictedSpeedup(T);
+    EXPECT_GT(S, 2.5) << "bits " << Bits;
+    EXPECT_LT(S, 10.0) << "bits " << Bits;
+  }
+}
+
+TEST(CTreeModel, SpeedupFallsAsTreeOutgrowsHotRegion) {
+  // The colored hot region caches a fixed number of levels (Rs), so as
+  // D = log2(n+1) grows the reused fraction Rs/D shrinks and the gain
+  // over the naive layout declines — Figure 10's curve, which matches
+  // Figure 5's ~4-5x at 2M keys.
+  MemoryTimings T = MemoryTimings::ultraSparcE5000();
+  double Prev = 1e9;
+  for (unsigned Bits = 18; Bits <= 23; ++Bits) {
+    double S =
+        CTreeModel((1ULL << Bits) - 1, e5000L2(), 2).predictedSpeedup(T);
+    EXPECT_LT(S, Prev);
+    Prev = S;
+  }
+}
+
+TEST(CTreeModel, BiggerClustersReduceMisses) {
+  double M1 = CTreeModel((1 << 20) - 1, e5000L2(), 1).ccMissRate();
+  double M2 = CTreeModel((1 << 20) - 1, e5000L2(), 2).ccMissRate();
+  double M5 = CTreeModel((1 << 20) - 1, e5000L2(), 5).ccMissRate();
+  EXPECT_GT(M1, M2);
+  EXPECT_GT(M2, M5);
+}
+
+TEST(CTreeModel, MoreHotSetsReduceMisses) {
+  CacheParams Half = e5000L2();
+  CacheParams Quarter = e5000L2();
+  Quarter.HotSets = Quarter.CacheSets / 4;
+  double MHalf = CTreeModel((1 << 22) - 1, Half, 2).ccMissRate();
+  double MQuarter = CTreeModel((1 << 22) - 1, Quarter, 2).ccMissRate();
+  EXPECT_LT(MHalf, MQuarter);
+}
+
+TEST(CTreeModel, AssociativityMultipliesHotCapacity) {
+  CacheParams DM = e5000L2();
+  CacheParams FourWay = e5000L2();
+  FourWay.Associativity = 4;
+  double RsDm = CTreeModel((1 << 22) - 1, DM, 2).reuseRs();
+  double Rs4 = CTreeModel((1 << 22) - 1, FourWay, 2).reuseRs();
+  EXPECT_NEAR(Rs4 - RsDm, 2.0, 0.01); // log2(4) more resident levels.
+}
+
+TEST(CTreeModel, ProfileRoundTripsThroughFramework) {
+  CTreeModel M((1 << 20) - 1, e5000L2(), 2);
+  LocalityProfile P = M.ccProfile();
+  EXPECT_DOUBLE_EQ(missRate(P), M.ccMissRate());
+}

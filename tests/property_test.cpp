@@ -1,0 +1,231 @@
+//===- tests/property_test.cpp - Parameterized property suites ----------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// Randomized, seed-parameterized property sweeps over the allocator, the
+// simulator, and the reorganizer: invariants that must hold for *any*
+// input, checked across many deterministic seeds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CcMorph.h"
+#include "heap/CcHeap.h"
+#include "sim/MemoryHierarchy.h"
+#include "support/Random.h"
+#include "trees/BinaryTree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <vector>
+
+using namespace ccl;
+using namespace ccl::trees;
+
+//===----------------------------------------------------------------------===//
+// Heap fuzzing across seeds and strategies.
+//===----------------------------------------------------------------------===//
+
+class HeapFuzz
+    : public ::testing::TestWithParam<std::tuple<uint64_t, heap::CcStrategy>> {
+};
+
+TEST_P(HeapFuzz, NoOverlapNoCorruption) {
+  auto [Seed, Strategy] = GetParam();
+  heap::CcHeap Heap;
+  Xoshiro256 Rng(Seed);
+  std::map<void *, std::pair<size_t, char>> Live;
+  std::vector<void *> Order;
+
+  for (int Step = 0; Step < 2500; ++Step) {
+    if (!Order.empty() && Rng.nextBounded(4) == 0) {
+      size_t Pick = Rng.nextBounded(Order.size());
+      void *Ptr = Order[Pick];
+      Order.erase(Order.begin() + Pick);
+      auto It = Live.find(Ptr);
+      ASSERT_NE(It, Live.end());
+      auto [Bytes, Fill] = It->second;
+      auto *Data = static_cast<unsigned char *>(Ptr);
+      for (size_t I = 0; I < Bytes; ++I)
+        ASSERT_EQ(Data[I], static_cast<unsigned char>(Fill));
+      Heap.deallocate(Ptr);
+      Live.erase(It);
+      continue;
+    }
+    size_t Bytes = 1 + Rng.nextBounded(96);
+    void *Near = Order.empty() ? nullptr : Order[Rng.nextBounded(Order.size())];
+    void *P = Rng.nextBounded(2) ? Heap.allocateNear(Bytes, Near, Strategy)
+                                 : Heap.allocate(Bytes);
+    ASSERT_NE(P, nullptr);
+    ASSERT_TRUE(Heap.owns(P));
+    ASSERT_GE(Heap.sizeOf(P), Bytes);
+    ASSERT_FALSE(Live.count(P));
+    char Fill = static_cast<char>(Rng.nextBounded(256));
+    std::memset(P, Fill, Bytes);
+    Live[P] = {Bytes, Fill};
+    Order.push_back(P);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndStrategies, HeapFuzz,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(heap::CcStrategy::Closest,
+                                         heap::CcStrategy::NewBlock,
+                                         heap::CcStrategy::FirstFit)));
+
+//===----------------------------------------------------------------------===//
+// Simulator consistency across random traces.
+//===----------------------------------------------------------------------===//
+
+class SimTrace : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimTrace, CountersAlwaysConsistent) {
+  sim::HierarchyConfig Config;
+  Config.L1 = {2048, 32, 1, 1};
+  Config.L2 = {16 * 1024, 64, 2, 7};
+  Config.MemoryLatency = 40;
+  Config.Tlb = {true, 8, 4096, 25};
+  sim::MemoryHierarchy M(Config);
+  Xoshiro256 Rng(GetParam());
+
+  for (int I = 0; I < 8000; ++I) {
+    uint64_t Addr = Rng.nextBounded(1 << 20);
+    switch (Rng.nextBounded(4)) {
+    case 0:
+      M.write(Addr, 1 + Rng.nextBounded(16));
+      break;
+    case 3:
+      M.prefetch(Addr);
+      break;
+    default:
+      M.read(Addr, 1 + Rng.nextBounded(16));
+      break;
+    }
+    if (Rng.nextBounded(8) == 0)
+      M.tick(Rng.nextBounded(20));
+  }
+  const sim::SimStats &S = M.stats();
+  EXPECT_EQ(S.L1Hits + S.L1Misses, S.Reads + S.Writes);
+  EXPECT_EQ(S.L2Hits + S.L2Misses, S.L1Misses);
+  EXPECT_EQ(S.totalCycles(), M.now());
+  EXPECT_LE(S.PrefetchFullHits + S.PrefetchPartialHits,
+            S.SwPrefetches + S.HwPrefetches);
+  EXPECT_GE(S.l1MissRate(), 0.0);
+  EXPECT_LE(S.l1MissRate(), 1.0);
+}
+
+TEST_P(SimTrace, RepeatedTraceIsDeterministic) {
+  auto RunOnce = [&](uint64_t Seed) {
+    sim::HierarchyConfig Config;
+    Config.L1 = {2048, 32, 1, 1};
+    Config.L2 = {16 * 1024, 64, 2, 7};
+    Config.MemoryLatency = 40;
+    Config.Tlb.Enabled = false;
+    sim::MemoryHierarchy M(Config);
+    Xoshiro256 Rng(Seed);
+    for (int I = 0; I < 3000; ++I)
+      M.read(Rng.nextBounded(1 << 18), 4);
+    return M.now();
+  };
+  EXPECT_EQ(RunOnce(GetParam()), RunOnce(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimTrace,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+//===----------------------------------------------------------------------===//
+// Morph semantic preservation across random shapes.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// An irregular (non-complete) binary tree built by random insertion.
+struct RandTree {
+  std::vector<BstNode> Pool;
+  BstNode *Root = nullptr;
+  uint64_t Count = 0;
+};
+
+RandTree buildRandomInsertionTree(uint64_t N, uint64_t Seed) {
+  RandTree T;
+  T.Pool.resize(N);
+  Xoshiro256 Rng(Seed);
+  std::vector<uint32_t> Keys;
+  for (uint64_t I = 0; I < N; ++I)
+    Keys.push_back(static_cast<uint32_t>(2 * I + 1));
+  Rng.shuffle(Keys);
+  for (uint64_t I = 0; I < N; ++I) {
+    BstNode *Node = &T.Pool[I];
+    Node->Key = Keys[I];
+    Node->Value = 0;
+    Node->Left = Node->Right = nullptr;
+    if (!T.Root) {
+      T.Root = Node;
+    } else {
+      BstNode *Cur = T.Root;
+      for (;;) {
+        if (Node->Key < Cur->Key) {
+          if (!Cur->Left) {
+            Cur->Left = Node;
+            break;
+          }
+          Cur = Cur->Left;
+        } else {
+          if (!Cur->Right) {
+            Cur->Right = Node;
+            break;
+          }
+          Cur = Cur->Right;
+        }
+      }
+    }
+  }
+  T.Count = N;
+  return T;
+}
+
+CacheParams morphParams() {
+  CacheParams P;
+  P.CacheSets = 128;
+  P.Associativity = 2;
+  P.BlockBytes = 64;
+  P.PageBytes = 4096;
+  P.HotSets = 32;
+  return P;
+}
+
+} // namespace
+
+class MorphFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MorphFuzz, IrregularTreesSurviveEveryScheme) {
+  RandTree T = buildRandomInsertionTree(700 + GetParam() * 13, GetParam());
+  for (LayoutScheme Scheme :
+       {LayoutScheme::Subtree, LayoutScheme::DepthFirst, LayoutScheme::Bfs,
+        LayoutScheme::Random}) {
+    CcMorph<BstNode, BstAdapter> Morph(morphParams());
+    MorphOptions Options;
+    Options.Scheme = Scheme;
+    Options.Seed = GetParam();
+    BstNode *NewRoot = Morph.reorganize(T.Root, Options);
+    EXPECT_TRUE(verifyBst(NewRoot, T.Count)) << layoutSchemeName(Scheme);
+    EXPECT_EQ(Morph.stats().NodeCount, T.Count);
+  }
+}
+
+TEST_P(MorphFuzz, HotNeverExceedsBudget) {
+  RandTree T = buildRandomInsertionTree(2000, GetParam() * 7 + 1);
+  CacheParams P = morphParams();
+  CcMorph<BstNode, BstAdapter> Morph(P);
+  Morph.reorganize(T.Root);
+  // Hot footprint (block-aligned clusters) never exceeds p*a*b.
+  EXPECT_LE(Morph.stats().HotNodes * sizeof(BstNode), P.hotCapacityBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MorphFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));

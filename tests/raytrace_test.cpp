@@ -1,0 +1,112 @@
+//===- tests/raytrace_test.cpp - Octree ray caster tests ----------------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "raytrace/Raytrace.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccl;
+using namespace ccl::raytrace;
+
+namespace {
+
+RaytraceConfig smallConfig() {
+  RaytraceConfig C;
+  C.NumSpheres = 300;
+  C.NumRays = 2000;
+  C.MaxDepth = 6;
+  C.LeafCapacity = 4;
+  return C;
+}
+
+sim::HierarchyConfig testSim() {
+  sim::HierarchyConfig Config;
+  Config.L1 = {4 * 1024, 32, 1, 1};
+  Config.L2 = {64 * 1024, 64, 2, 6};
+  Config.MemoryLatency = 50;
+  Config.Tlb.Enabled = false;
+  return Config;
+}
+
+} // namespace
+
+TEST(Scene, DeterministicAndInsideCube) {
+  auto A = makeScene(100, 7);
+  auto B = makeScene(100, 7);
+  ASSERT_EQ(A.size(), 100u);
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].X, B[I].X);
+    EXPECT_GE(A[I].X - A[I].R, 0.0);
+    EXPECT_LE(A[I].X + A[I].R, 1.0);
+    EXPECT_GE(A[I].Y - A[I].R, 0.0);
+    EXPECT_LE(A[I].Z + A[I].R, 1.0);
+    EXPECT_GT(A[I].R, 0.0);
+  }
+}
+
+TEST(Scene, DifferentSeedsDiffer) {
+  auto A = makeScene(10, 1);
+  auto B = makeScene(10, 2);
+  EXPECT_NE(A[0].X, B[0].X);
+}
+
+TEST(Raytrace, OctreeMatchesBruteForce) {
+  RaytraceConfig C = smallConfig();
+  RtResult Oct = runRaytrace(C, RtLayout::Base, nullptr);
+  RtResult Brute = runBruteForce(C);
+  EXPECT_EQ(Oct.Checksum, Brute.Checksum);
+  EXPECT_GT(Oct.Checksum, 0u); // Some rays hit something.
+}
+
+TEST(Raytrace, AllLayoutsAgree) {
+  RaytraceConfig C = smallConfig();
+  RtResult Base = runRaytrace(C, RtLayout::Base, nullptr);
+  for (RtLayout L : {RtLayout::Cluster, RtLayout::ClusterColor}) {
+    RtResult R = runRaytrace(C, L, nullptr);
+    EXPECT_EQ(R.Checksum, Base.Checksum) << rtLayoutName(L);
+    EXPECT_EQ(R.OctreeNodes, Base.OctreeNodes);
+  }
+}
+
+TEST(Raytrace, SimulatedLayoutsAgreeWithNative) {
+  RaytraceConfig C = smallConfig();
+  sim::HierarchyConfig Sim = testSim();
+  RtResult Native = runRaytrace(C, RtLayout::Base, nullptr);
+  RtResult Simulated = runRaytrace(C, RtLayout::Base, &Sim);
+  EXPECT_EQ(Native.Checksum, Simulated.Checksum);
+  EXPECT_GT(Simulated.Stats.totalCycles(), 0u);
+  EXPECT_GT(Simulated.Stats.Reads, 0u);
+}
+
+TEST(Raytrace, OctreeBuilt) {
+  RaytraceConfig C = smallConfig();
+  RtResult R = runRaytrace(C, RtLayout::Base, nullptr);
+  EXPECT_GT(R.OctreeNodes, 8u);
+}
+
+TEST(Raytrace, DepthCapRespected) {
+  RaytraceConfig C = smallConfig();
+  C.MaxDepth = 1; // Root + one level only.
+  RtResult R = runRaytrace(C, RtLayout::Base, nullptr);
+  EXPECT_LE(R.OctreeNodes, 9u);
+  EXPECT_EQ(R.Checksum, runBruteForce(C).Checksum);
+}
+
+TEST(Raytrace, LayoutNames) {
+  EXPECT_STREQ(rtLayoutName(RtLayout::Base), "base");
+  EXPECT_STREQ(rtLayoutName(RtLayout::Cluster), "clustering");
+  EXPECT_STREQ(rtLayoutName(RtLayout::ClusterColor),
+               "clustering+coloring");
+}
+
+TEST(Raytrace, MoreRaysMoreHits) {
+  RaytraceConfig A = smallConfig();
+  RaytraceConfig B = smallConfig();
+  B.NumRays = A.NumRays * 2;
+  uint64_t HitsA = runRaytrace(A, RtLayout::Base, nullptr).Checksum >> 32;
+  uint64_t HitsB = runRaytrace(B, RtLayout::Base, nullptr).Checksum >> 32;
+  EXPECT_GT(HitsB, HitsA);
+}

@@ -1,0 +1,369 @@
+//===- tests/support_test.cpp - Support library unit tests ------------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Align.h"
+#include "support/Arena.h"
+#include "support/Random.h"
+#include "support/Stats.h"
+#include "support/TablePrinter.h"
+#include "support/Timer.h"
+#include "support/Zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+using namespace ccl;
+
+//===----------------------------------------------------------------------===//
+// Align
+//===----------------------------------------------------------------------===//
+
+TEST(Align, PowerOf2Detection) {
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(2));
+  EXPECT_FALSE(isPowerOf2(3));
+  EXPECT_TRUE(isPowerOf2(1ULL << 40));
+  EXPECT_FALSE(isPowerOf2((1ULL << 40) + 1));
+}
+
+TEST(Align, AlignUpBasics) {
+  EXPECT_EQ(alignUp(0, 8), 0u);
+  EXPECT_EQ(alignUp(1, 8), 8u);
+  EXPECT_EQ(alignUp(8, 8), 8u);
+  EXPECT_EQ(alignUp(9, 8), 16u);
+  EXPECT_EQ(alignUp(4095, 4096), 4096u);
+}
+
+TEST(Align, AlignDownBasics) {
+  EXPECT_EQ(alignDown(0, 8), 0u);
+  EXPECT_EQ(alignDown(7, 8), 0u);
+  EXPECT_EQ(alignDown(8, 8), 8u);
+  EXPECT_EQ(alignDown(4097, 4096), 4096u);
+}
+
+TEST(Align, IsAligned) {
+  EXPECT_TRUE(isAligned(0, 64));
+  EXPECT_TRUE(isAligned(128, 64));
+  EXPECT_FALSE(isAligned(96, 64));
+}
+
+TEST(Align, Log2Exact) {
+  EXPECT_EQ(log2Exact(1), 0u);
+  EXPECT_EQ(log2Exact(2), 1u);
+  EXPECT_EQ(log2Exact(64), 6u);
+  EXPECT_EQ(log2Exact(1ULL << 30), 30u);
+}
+
+TEST(Align, NextPowerOf2) {
+  EXPECT_EQ(nextPowerOf2(0), 1u);
+  EXPECT_EQ(nextPowerOf2(1), 1u);
+  EXPECT_EQ(nextPowerOf2(3), 4u);
+  EXPECT_EQ(nextPowerOf2(64), 64u);
+  EXPECT_EQ(nextPowerOf2(65), 128u);
+}
+
+// Property: alignUp(x, a) is the least multiple of a that is >= x.
+class AlignSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AlignSweep, AlignUpIsLeastUpperMultiple) {
+  uint64_t Align = GetParam();
+  for (uint64_t X : {0ULL, 1ULL, 63ULL, 64ULL, 65ULL, 1000ULL, 123456ULL}) {
+    uint64_t Up = alignUp(X, Align);
+    EXPECT_GE(Up, X);
+    EXPECT_TRUE(isAligned(Up, Align));
+    if (Up >= Align) {
+      EXPECT_LT(Up - Align, X);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alignments, AlignSweep,
+                         ::testing::Values(1, 2, 8, 16, 64, 4096, 65536));
+
+//===----------------------------------------------------------------------===//
+// Random
+//===----------------------------------------------------------------------===//
+
+TEST(Random, Deterministic) {
+  Xoshiro256 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Xoshiro256 A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 2);
+}
+
+TEST(Random, BoundedStaysInRange) {
+  Xoshiro256 Rng(7);
+  for (uint64_t Bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int I = 0; I < 200; ++I) {
+      EXPECT_LT(Rng.nextBounded(Bound), Bound);
+    }
+  }
+}
+
+TEST(Random, BoundedCoversRange) {
+  Xoshiro256 Rng(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(Rng.nextBounded(8));
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+TEST(Random, DoubleInUnitInterval) {
+  Xoshiro256 Rng(11);
+  for (int I = 0; I < 1000; ++I) {
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Random, ShuffleIsPermutation) {
+  Xoshiro256 Rng(13);
+  std::vector<int> Values(100);
+  for (int I = 0; I < 100; ++I)
+    Values[I] = I;
+  std::vector<int> Shuffled = Values;
+  Rng.shuffle(Shuffled);
+  EXPECT_NE(Shuffled, Values); // Astronomically unlikely to be identity.
+  std::sort(Shuffled.begin(), Shuffled.end());
+  EXPECT_EQ(Shuffled, Values);
+}
+
+TEST(Random, SplitMixExpandsSeed) {
+  SplitMix64 A(0);
+  uint64_t First = A.next();
+  uint64_t Second = A.next();
+  EXPECT_NE(First, Second);
+  SplitMix64 B(0);
+  EXPECT_EQ(B.next(), First);
+}
+
+TEST(Random, MeanIsCentered) {
+  Xoshiro256 Rng(17);
+  double Sum = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Sum += Rng.nextDouble();
+  EXPECT_NEAR(Sum / N, 0.5, 0.02);
+}
+
+//===----------------------------------------------------------------------===//
+// RunningStats
+//===----------------------------------------------------------------------===//
+
+TEST(Stats, EmptyIsZero) {
+  RunningStats S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.variance(), 0.0);
+}
+
+TEST(Stats, SingleSample) {
+  RunningStats S;
+  S.add(5.0);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(S.min(), 5.0);
+  EXPECT_DOUBLE_EQ(S.max(), 5.0);
+}
+
+TEST(Stats, KnownMoments) {
+  RunningStats S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_NEAR(S.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+}
+
+TEST(Stats, Reset) {
+  RunningStats S;
+  S.add(1.0);
+  S.reset();
+  EXPECT_EQ(S.count(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// TablePrinter
+//===----------------------------------------------------------------------===//
+
+TEST(TablePrinter, FormatsDoubles) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::fmt(-1.5, 1), "-1.5");
+}
+
+TEST(TablePrinter, FormatsIntegersWithSeparators) {
+  EXPECT_EQ(TablePrinter::fmtInt(0), "0");
+  EXPECT_EQ(TablePrinter::fmtInt(999), "999");
+  EXPECT_EQ(TablePrinter::fmtInt(1000), "1,000");
+  EXPECT_EQ(TablePrinter::fmtInt(1234567), "1,234,567");
+}
+
+TEST(TablePrinter, PrintsWithoutCrashing) {
+  TablePrinter Table({"A", "LongHeader", "C"});
+  Table.addRow({"1", "2", "3"});
+  Table.addSeparator();
+  Table.addRow({"longer cell", "x"});
+  std::FILE *Null = std::fopen("/dev/null", "w");
+  ASSERT_NE(Null, nullptr);
+  Table.print(Null);
+  std::fclose(Null);
+}
+
+//===----------------------------------------------------------------------===//
+// Timer
+//===----------------------------------------------------------------------===//
+
+TEST(Timer, Monotonic) {
+  Timer T;
+  uint64_t A = T.elapsedNs();
+  uint64_t B = T.elapsedNs();
+  EXPECT_GE(B, A);
+}
+
+TEST(Timer, RestartResets) {
+  Timer T;
+  volatile uint64_t Sink = 0;
+  for (int I = 0; I < 100000; ++I)
+    Sink = Sink + I;
+  (void)Sink;
+  uint64_t Before = T.elapsedNs();
+  T.restart();
+  EXPECT_LE(T.elapsedNs(), Before + 1000000);
+}
+
+//===----------------------------------------------------------------------===//
+// Arena
+//===----------------------------------------------------------------------===//
+
+TEST(Arena, BasicAllocation) {
+  Arena A(1 << 16, 1 << 16);
+  void *P1 = A.allocate(100);
+  void *P2 = A.allocate(100);
+  ASSERT_NE(P1, nullptr);
+  ASSERT_NE(P2, nullptr);
+  EXPECT_NE(P1, P2);
+  EXPECT_GE(A.bytesAllocated(), 200u);
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena A(1 << 16, 1 << 16);
+  for (size_t Align : {8ULL, 16ULL, 64ULL, 256ULL, 4096ULL}) {
+    void *P = A.allocate(10, Align);
+    EXPECT_TRUE(isAligned(addrOf(P), Align)) << "align " << Align;
+  }
+}
+
+TEST(Arena, SlabBaseAligned) {
+  Arena A(1 << 16, 1 << 16);
+  void *Slab = A.allocateSlab(1000);
+  EXPECT_TRUE(isAligned(addrOf(Slab), 1 << 16));
+}
+
+TEST(Arena, AllocationsDoNotOverlap) {
+  Arena A(1 << 14, 1 << 14);
+  std::vector<std::pair<uint64_t, uint64_t>> Ranges;
+  Xoshiro256 Rng(5);
+  for (int I = 0; I < 500; ++I) {
+    size_t Bytes = 1 + Rng.nextBounded(300);
+    auto *P = static_cast<char *>(A.allocate(Bytes));
+    std::fill(P, P + Bytes, char(I)); // Must be writable.
+    Ranges.push_back({addrOf(P), addrOf(P) + Bytes});
+  }
+  std::sort(Ranges.begin(), Ranges.end());
+  for (size_t I = 1; I < Ranges.size(); ++I)
+    EXPECT_LE(Ranges[I - 1].second, Ranges[I].first);
+}
+
+TEST(Arena, OversizedAllocationGetsOwnSlab) {
+  Arena A(1 << 13, 1 << 13);
+  void *Big = A.allocate(1 << 16);
+  ASSERT_NE(Big, nullptr);
+  auto *P = static_cast<char *>(Big);
+  std::fill(P, P + (1 << 16), 'x');
+}
+
+TEST(Arena, ResetReleasesEverything) {
+  Arena A(1 << 14, 1 << 14);
+  A.allocate(1000);
+  A.reset();
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  EXPECT_EQ(A.slabCount(), 0u);
+  void *P = A.allocate(10);
+  EXPECT_NE(P, nullptr);
+}
+
+TEST(Arena, MoveTransfersOwnership) {
+  Arena A(1 << 14, 1 << 14);
+  void *P = A.allocate(100);
+  Arena B = std::move(A);
+  EXPECT_EQ(A.slabCount(), 0u);
+  EXPECT_GE(B.slabCount(), 1u);
+  // P must still be valid memory owned by B.
+  std::fill(static_cast<char *>(P), static_cast<char *>(P) + 100, 'y');
+}
+
+TEST(Arena, ReservedAtLeastAllocated) {
+  Arena A(1 << 14, 1 << 14);
+  for (int I = 0; I < 100; ++I)
+    A.allocate(100);
+  EXPECT_GE(A.bytesReserved(), A.bytesAllocated());
+}
+
+//===----------------------------------------------------------------------===//
+// ZipfDistribution
+//===----------------------------------------------------------------------===//
+
+TEST(Zipf, RanksInRange) {
+  ZipfDistribution Zipf(100, 1.0);
+  Xoshiro256 Rng(3);
+  for (int I = 0; I < 2000; ++I)
+    EXPECT_LT(Zipf(Rng), 100u);
+}
+
+TEST(Zipf, SkewConcentratesMass) {
+  // With s=1.2 over 10k ranks, the top 1% carries most of the mass.
+  ZipfDistribution Heavy(10000, 1.2);
+  ZipfDistribution Uniform(10000, 0.0);
+  EXPECT_GT(Heavy.topMass(100), 0.5);
+  EXPECT_NEAR(Uniform.topMass(100), 0.01, 1e-9);
+}
+
+TEST(Zipf, TopMassMonotone) {
+  ZipfDistribution Zipf(1000, 0.8);
+  double Prev = 0.0;
+  for (uint64_t K : {1ULL, 10ULL, 100ULL, 1000ULL}) {
+    double Mass = Zipf.topMass(K);
+    EXPECT_GT(Mass, Prev);
+    Prev = Mass;
+  }
+  EXPECT_NEAR(Zipf.topMass(1000), 1.0, 1e-9);
+}
+
+TEST(Zipf, EmpiricalRankOrdering) {
+  ZipfDistribution Zipf(64, 1.0);
+  Xoshiro256 Rng(9);
+  std::vector<int> Hits(64, 0);
+  for (int I = 0; I < 50000; ++I)
+    ++Hits[Zipf(Rng)];
+  EXPECT_GT(Hits[0], Hits[8]);
+  EXPECT_GT(Hits[1], Hits[32]);
+  EXPECT_GT(Hits[0], 5 * Hits[63]);
+}

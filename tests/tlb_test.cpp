@@ -1,0 +1,58 @@
+//===- tests/tlb_test.cpp - TLB model unit tests -----------------------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Tlb.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccl::sim;
+
+namespace {
+TlbConfig small() { return {true, 4, 4096, 30}; }
+} // namespace
+
+TEST(Tlb, ColdMissThenHit) {
+  Tlb T(small());
+  EXPECT_FALSE(T.access(0x1000));
+  EXPECT_TRUE(T.access(0x1000));
+  EXPECT_TRUE(T.access(0x1FFF)); // Same page.
+  EXPECT_FALSE(T.access(0x2000)); // Next page.
+  EXPECT_EQ(T.hits(), 2u);
+  EXPECT_EQ(T.misses(), 2u);
+}
+
+TEST(Tlb, CapacityEviction) {
+  Tlb T(small());
+  for (uint64_t P = 0; P < 5; ++P)
+    T.access(P * 4096); // 5 pages into a 4-entry TLB.
+  EXPECT_FALSE(T.access(0)); // Page 0 was LRU-evicted.
+}
+
+TEST(Tlb, LruKeepsRecentlyUsed) {
+  Tlb T(small());
+  for (uint64_t P = 0; P < 4; ++P)
+    T.access(P * 4096);
+  T.access(0);           // Refresh page 0.
+  T.access(4 * 4096);    // Evicts page 1 (LRU), not 0.
+  EXPECT_TRUE(T.access(0));
+  EXPECT_FALSE(T.access(1 * 4096));
+}
+
+TEST(Tlb, FullCoverageWithinCapacity) {
+  Tlb T(small());
+  for (int Round = 0; Round < 3; ++Round)
+    for (uint64_t P = 0; P < 4; ++P)
+      T.access(P * 4096);
+  EXPECT_EQ(T.misses(), 4u); // Only the cold misses.
+}
+
+TEST(Tlb, ResetClears) {
+  Tlb T(small());
+  T.access(0);
+  T.reset();
+  EXPECT_EQ(T.hits() + T.misses(), 0u);
+  EXPECT_FALSE(T.access(0));
+}
