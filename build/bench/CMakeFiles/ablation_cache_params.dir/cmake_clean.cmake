@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_params.dir/ablation_cache_params.cpp.o"
+  "CMakeFiles/ablation_cache_params.dir/ablation_cache_params.cpp.o.d"
+  "ablation_cache_params"
+  "ablation_cache_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ccmalloc_strategies.dir/ablation_ccmalloc_strategies.cpp.o"
+  "CMakeFiles/ablation_ccmalloc_strategies.dir/ablation_ccmalloc_strategies.cpp.o.d"
+  "ablation_ccmalloc_strategies"
+  "ablation_ccmalloc_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ccmalloc_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_profile_guided.dir/ablation_profile_guided.cpp.o"
+  "CMakeFiles/ablation_profile_guided.dir/ablation_profile_guided.cpp.o.d"
+  "ablation_profile_guided"
+  "ablation_profile_guided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_profile_guided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_subtree_size.dir/ablation_subtree_size.cpp.o"
+  "CMakeFiles/ablation_subtree_size.dir/ablation_subtree_size.cpp.o.d"
+  "ablation_subtree_size"
+  "ablation_subtree_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subtree_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_tree_microbenchmark.dir/fig5_tree_microbenchmark.cpp.o"
+  "CMakeFiles/fig5_tree_microbenchmark.dir/fig5_tree_microbenchmark.cpp.o.d"
+  "fig5_tree_microbenchmark"
+  "fig5_tree_microbenchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tree_microbenchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

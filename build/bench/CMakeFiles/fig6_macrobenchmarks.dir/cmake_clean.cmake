@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_macrobenchmarks.dir/fig6_macrobenchmarks.cpp.o"
+  "CMakeFiles/fig6_macrobenchmarks.dir/fig6_macrobenchmarks.cpp.o.d"
+  "fig6_macrobenchmarks"
+  "fig6_macrobenchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_macrobenchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

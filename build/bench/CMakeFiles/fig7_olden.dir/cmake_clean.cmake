@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_olden.dir/fig7_olden.cpp.o"
+  "CMakeFiles/fig7_olden.dir/fig7_olden.cpp.o.d"
+  "fig7_olden"
+  "fig7_olden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_olden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

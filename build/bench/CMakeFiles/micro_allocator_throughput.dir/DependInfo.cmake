@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_allocator_throughput.cpp" "bench/CMakeFiles/micro_allocator_throughput.dir/micro_allocator_throughput.cpp.o" "gcc" "bench/CMakeFiles/micro_allocator_throughput.dir/micro_allocator_throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ccl_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/ccl_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/ccl_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_benchmark_characteristics.dir/table2_benchmark_characteristics.cpp.o"
+  "CMakeFiles/table2_benchmark_characteristics.dir/table2_benchmark_characteristics.cpp.o.d"
+  "table2_benchmark_characteristics"
+  "table2_benchmark_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_benchmark_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/bdd_queens.cpp" "examples/CMakeFiles/bdd_queens.dir/bdd_queens.cpp.o" "gcc" "examples/CMakeFiles/bdd_queens.dir/bdd_queens.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ccl_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/ccl_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ccl_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/ccl_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/olden/CMakeFiles/ccl_olden.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/ccl_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/raytrace/CMakeFiles/ccl_raytrace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdd_queens.dir/bdd_queens.cpp.o"
+  "CMakeFiles/bdd_queens.dir/bdd_queens.cpp.o.d"
+  "bdd_queens"
+  "bdd_queens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdd_queens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccl_bdd.dir/Bdd.cpp.o"
+  "CMakeFiles/ccl_bdd.dir/Bdd.cpp.o.d"
+  "CMakeFiles/ccl_bdd.dir/BddWorkloads.cpp.o"
+  "CMakeFiles/ccl_bdd.dir/BddWorkloads.cpp.o.d"
+  "libccl_bdd.a"
+  "libccl_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccl_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

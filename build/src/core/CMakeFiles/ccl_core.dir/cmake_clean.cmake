@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccl_core.dir/CcAllocator.cpp.o"
+  "CMakeFiles/ccl_core.dir/CcAllocator.cpp.o.d"
+  "CMakeFiles/ccl_core.dir/ColoredArena.cpp.o"
+  "CMakeFiles/ccl_core.dir/ColoredArena.cpp.o.d"
+  "libccl_core.a"
+  "libccl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

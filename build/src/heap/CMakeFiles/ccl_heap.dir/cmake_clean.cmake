@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccl_heap.dir/CcHeap.cpp.o"
+  "CMakeFiles/ccl_heap.dir/CcHeap.cpp.o.d"
+  "libccl_heap.a"
+  "libccl_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccl_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

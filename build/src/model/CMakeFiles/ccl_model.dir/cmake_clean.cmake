@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccl_model.dir/AnalyticModel.cpp.o"
+  "CMakeFiles/ccl_model.dir/AnalyticModel.cpp.o.d"
+  "CMakeFiles/ccl_model.dir/CTreeModel.cpp.o"
+  "CMakeFiles/ccl_model.dir/CTreeModel.cpp.o.d"
+  "libccl_model.a"
+  "libccl_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccl_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/olden/Health.cpp" "src/olden/CMakeFiles/ccl_olden.dir/Health.cpp.o" "gcc" "src/olden/CMakeFiles/ccl_olden.dir/Health.cpp.o.d"
+  "/root/repo/src/olden/Mst.cpp" "src/olden/CMakeFiles/ccl_olden.dir/Mst.cpp.o" "gcc" "src/olden/CMakeFiles/ccl_olden.dir/Mst.cpp.o.d"
+  "/root/repo/src/olden/Perimeter.cpp" "src/olden/CMakeFiles/ccl_olden.dir/Perimeter.cpp.o" "gcc" "src/olden/CMakeFiles/ccl_olden.dir/Perimeter.cpp.o.d"
+  "/root/repo/src/olden/TreeAdd.cpp" "src/olden/CMakeFiles/ccl_olden.dir/TreeAdd.cpp.o" "gcc" "src/olden/CMakeFiles/ccl_olden.dir/TreeAdd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/ccl_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccl_olden.dir/Health.cpp.o"
+  "CMakeFiles/ccl_olden.dir/Health.cpp.o.d"
+  "CMakeFiles/ccl_olden.dir/Mst.cpp.o"
+  "CMakeFiles/ccl_olden.dir/Mst.cpp.o.d"
+  "CMakeFiles/ccl_olden.dir/Perimeter.cpp.o"
+  "CMakeFiles/ccl_olden.dir/Perimeter.cpp.o.d"
+  "CMakeFiles/ccl_olden.dir/TreeAdd.cpp.o"
+  "CMakeFiles/ccl_olden.dir/TreeAdd.cpp.o.d"
+  "libccl_olden.a"
+  "libccl_olden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccl_olden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

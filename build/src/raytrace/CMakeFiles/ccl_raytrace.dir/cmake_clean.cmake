@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccl_raytrace.dir/Raytrace.cpp.o"
+  "CMakeFiles/ccl_raytrace.dir/Raytrace.cpp.o.d"
+  "libccl_raytrace.a"
+  "libccl_raytrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccl_raytrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccl_raytrace.a"
+)

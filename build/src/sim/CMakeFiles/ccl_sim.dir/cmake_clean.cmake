@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccl_sim.dir/Cache.cpp.o"
+  "CMakeFiles/ccl_sim.dir/Cache.cpp.o.d"
+  "CMakeFiles/ccl_sim.dir/MemoryHierarchy.cpp.o"
+  "CMakeFiles/ccl_sim.dir/MemoryHierarchy.cpp.o.d"
+  "CMakeFiles/ccl_sim.dir/Tlb.cpp.o"
+  "CMakeFiles/ccl_sim.dir/Tlb.cpp.o.d"
+  "libccl_sim.a"
+  "libccl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

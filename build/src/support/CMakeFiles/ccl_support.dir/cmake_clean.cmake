@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccl_support.dir/Arena.cpp.o"
+  "CMakeFiles/ccl_support.dir/Arena.cpp.o.d"
+  "CMakeFiles/ccl_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/ccl_support.dir/TablePrinter.cpp.o.d"
+  "libccl_support.a"
+  "libccl_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccl_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

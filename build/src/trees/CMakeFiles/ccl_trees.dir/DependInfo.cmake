@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trees/BTree.cpp" "src/trees/CMakeFiles/ccl_trees.dir/BTree.cpp.o" "gcc" "src/trees/CMakeFiles/ccl_trees.dir/BTree.cpp.o.d"
+  "/root/repo/src/trees/BinaryTree.cpp" "src/trees/CMakeFiles/ccl_trees.dir/BinaryTree.cpp.o" "gcc" "src/trees/CMakeFiles/ccl_trees.dir/BinaryTree.cpp.o.d"
+  "/root/repo/src/trees/CompactTree.cpp" "src/trees/CMakeFiles/ccl_trees.dir/CompactTree.cpp.o" "gcc" "src/trees/CMakeFiles/ccl_trees.dir/CompactTree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/ccl_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccl_trees.dir/BTree.cpp.o"
+  "CMakeFiles/ccl_trees.dir/BTree.cpp.o.d"
+  "CMakeFiles/ccl_trees.dir/BinaryTree.cpp.o"
+  "CMakeFiles/ccl_trees.dir/BinaryTree.cpp.o.d"
+  "CMakeFiles/ccl_trees.dir/CompactTree.cpp.o"
+  "CMakeFiles/ccl_trees.dir/CompactTree.cpp.o.d"
+  "libccl_trees.a"
+  "libccl_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccl_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmalloc_test.dir/ccmalloc_test.cpp.o"
+  "CMakeFiles/ccmalloc_test.dir/ccmalloc_test.cpp.o.d"
+  "ccmalloc_test"
+  "ccmalloc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmalloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

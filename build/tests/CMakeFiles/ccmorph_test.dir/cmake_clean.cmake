@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmorph_test.dir/ccmorph_test.cpp.o"
+  "CMakeFiles/ccmorph_test.dir/ccmorph_test.cpp.o.d"
+  "ccmorph_test"
+  "ccmorph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmorph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raytrace_test.dir/raytrace_test.cpp.o"
+  "CMakeFiles/raytrace_test.dir/raytrace_test.cpp.o.d"
+  "raytrace_test"
+  "raytrace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raytrace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
