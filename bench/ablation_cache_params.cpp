@@ -17,6 +17,7 @@
 #include "model/CTreeModel.h"
 #include "sim/AccessPolicy.h"
 #include "support/Random.h"
+#include "support/SweepRunner.h"
 #include "trees/BinaryTree.h"
 #include "trees/CTree.h"
 
@@ -71,7 +72,14 @@ int main(int Argc, char **Argv) {
 
   TablePrinter Table({"L2", "assoc", "measured speedup",
                       "predicted speedup", "model Rs", "cc miss rate"});
-  for (const Geometry &G : Geometries) {
+  // Each geometry is an independent simulation cell: it builds its own
+  // C-tree and drives its own hierarchies, so the grid runs in parallel
+  // with results identical to a serial sweep (rows are assembled by cell
+  // index afterwards).
+  std::vector<std::vector<std::string>> Rows(Geometries.size());
+  SweepRunner Runner;
+  Runner.run(Geometries.size(), [&](size_t Cell) {
+    const Geometry &G = Geometries[Cell];
     sim::HierarchyConfig Config;
     Config.L1 = {16 * 1024, 16, 1, 1};
     Config.L2 = {G.CapacityKB * 1024, 64, G.Assoc, 6};
@@ -88,15 +96,17 @@ int main(int Argc, char **Argv) {
 
     uint64_t K = std::max<uint64_t>(1, Params.BlockBytes / sizeof(BstNode));
     model::CTreeModel Model(NumKeys, Params, K);
-    Table.addRow({TablePrinter::fmtInt(G.CapacityKB) + " KB",
+    Rows[Cell] = {TablePrinter::fmtInt(G.CapacityKB) + " KB",
                   TablePrinter::fmtInt(G.Assoc),
                   bench::speedupStr(double(RandomCycles),
                                     double(CtreeCycles)),
                   TablePrinter::fmt(Model.predictedSpeedup(Timings), 2) +
                       "x",
                   TablePrinter::fmt(Model.reuseRs(), 2),
-                  TablePrinter::fmt(Model.ccMissRate(), 3)});
-  }
+                  TablePrinter::fmt(Model.ccMissRate(), 3)};
+  });
+  for (const auto &Row : Rows)
+    Table.addRow(Row);
   Table.print();
   std::printf("\nShape to check: Rs grows with capacity and log2(assoc); "
               "the naive layout also improves with\nbigger caches, so the "

@@ -19,8 +19,10 @@
 #include "olden/Mst.h"
 #include "olden/Perimeter.h"
 #include "olden/TreeAdd.h"
+#include "support/SweepRunner.h"
 
 #include <functional>
+#include <iterator>
 
 using namespace ccl;
 using namespace ccl::olden;
@@ -64,23 +66,45 @@ int main(int Argc, char **Argv) {
 
   sim::HierarchyConfig Config = sim::HierarchyConfig::rsimTable1();
 
+  // Every (benchmark, variant) pair is an independent deterministic
+  // simulation, so the whole grid runs as parallel sweep cells; the two
+  // tables below are assembled from the completed grid in presentation
+  // order. Base feeds both tables (runs are deterministic, so one run is
+  // equivalent to the two a serial script would do).
+  const Variant Variants[] = {Variant::Base, Variant::CcMallocFirstFit,
+                              Variant::CcMallocClosest,
+                              Variant::CcMallocNewBlock,
+                              Variant::CcMallocNull};
+  constexpr size_t NumVariants = std::size(Variants);
+  std::vector<BenchResult> Grid(Benchmarks.size() * NumVariants);
+  SweepRunner Runner;
+  Runner.run(Grid.size(), [&](size_t Cell) {
+    const Row &Bench = Benchmarks[Cell / NumVariants];
+    Grid[Cell] = Bench.Run(Variants[Cell % NumVariants], &Config);
+  });
+  auto ResultFor = [&](size_t BenchIdx, Variant V) -> const BenchResult & {
+    for (size_t I = 0; I < NumVariants; ++I)
+      if (Variants[I] == V)
+        return Grid[BenchIdx * NumVariants + I];
+    std::abort();
+  };
+
   TablePrinter Table({"benchmark", "strategy", "norm time", "memory",
                       "overhead vs closest"});
-  for (const Row &Bench : Benchmarks) {
-    BenchResult Base = Bench.Run(Variant::Base, &Config);
-    double BaseCycles = double(Base.Stats.totalCycles());
-    BenchResult Closest = Bench.Run(Variant::CcMallocClosest, &Config);
+  for (size_t B = 0; B < Benchmarks.size(); ++B) {
+    double BaseCycles =
+        double(ResultFor(B, Variant::Base).Stats.totalCycles());
+    const BenchResult &Closest = ResultFor(B, Variant::CcMallocClosest);
     for (auto [V, Name] :
          {std::pair{Variant::CcMallocFirstFit, "first-fit"},
           std::pair{Variant::CcMallocClosest, "closest"},
           std::pair{Variant::CcMallocNewBlock, "new-block"}}) {
-      BenchResult R =
-          V == Variant::CcMallocClosest ? Closest : Bench.Run(V, &Config);
+      const BenchResult &R = ResultFor(B, V);
       double Overhead =
           100.0 * (double(R.HeapFootprintBytes) /
                        double(Closest.HeapFootprintBytes) -
                    1.0);
-      Table.addRow({Bench.Name, Name,
+      Table.addRow({Benchmarks[B].Name, Name,
                     bench::pct(double(R.Stats.totalCycles()), BaseCycles),
                     TablePrinter::fmtInt(R.HeapFootprintBytes / 1024) +
                         " KB",
@@ -96,11 +120,11 @@ int main(int Argc, char **Argv) {
               "null — expect slightly slower than base.\n");
   TablePrinter Control({"benchmark", "base cycles", "null-hint cycles",
                         "null vs base"});
-  for (const Row &Bench : Benchmarks) {
-    BenchResult Base = Bench.Run(Variant::Base, &Config);
-    BenchResult Null = Bench.Run(Variant::CcMallocNull, &Config);
+  for (size_t B = 0; B < Benchmarks.size(); ++B) {
+    const BenchResult &Base = ResultFor(B, Variant::Base);
+    const BenchResult &Null = ResultFor(B, Variant::CcMallocNull);
     Control.addRow(
-        {Bench.Name, TablePrinter::fmtInt(Base.Stats.totalCycles()),
+        {Benchmarks[B].Name, TablePrinter::fmtInt(Base.Stats.totalCycles()),
          TablePrinter::fmtInt(Null.Stats.totalCycles()),
          "+" + TablePrinter::fmt(
                    100.0 * (double(Null.Stats.totalCycles()) /

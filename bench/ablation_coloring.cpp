@@ -16,6 +16,7 @@
 #include "model/CTreeModel.h"
 #include "sim/AccessPolicy.h"
 #include "support/Random.h"
+#include "support/SweepRunner.h"
 #include "trees/BinaryTree.h"
 #include "trees/CTree.h"
 
@@ -59,9 +60,23 @@ int main(int Argc, char **Argv) {
 
   TablePrinter Table({"hot sets (p)", "fraction", "hot levels cached",
                       "cycles/search", "model miss rate"});
-  for (unsigned Denominator : {0u, 8u, 4u, 2u}) {
+  // One cell per coloring fraction. HotSets == CacheSets * 3 / 4 marks
+  // the final three-quarters configuration (it always colors and has its
+  // own label); every cell is independent, so the sweep runs in parallel
+  // and rows are assembled in cell order afterwards.
+  struct Fraction {
+    unsigned Denominator; ///< 0 = no coloring; 3 = the 3/4 row.
+  };
+  const std::vector<Fraction> Fractions = {{0}, {8}, {4}, {2}, {3}};
+  std::vector<std::vector<std::string>> Rows(Fractions.size());
+  SweepRunner Runner;
+  Runner.run(Fractions.size(), [&](size_t Cell) {
+    unsigned Denominator = Fractions[Cell].Denominator;
+    bool ThreeQuarters = Denominator == 3;
     CacheParams Params = Base;
-    Params.HotSets = Denominator == 0 ? 0 : Base.CacheSets / Denominator;
+    Params.HotSets = ThreeQuarters ? Base.CacheSets * 3 / 4
+                     : Denominator == 0 ? 0
+                                        : Base.CacheSets / Denominator;
     MorphOptions Options;
     Options.Color = Params.HotSets > 0;
     CTree Tree(Params);
@@ -75,28 +90,16 @@ int main(int Argc, char **Argv) {
         Params.HotSets == 0
             ? model::missRate({Model.accessFunctionD(), Model.spatialK(), 0})
             : Model.ccMissRate();
-    Table.addRow({TablePrinter::fmtInt(Params.HotSets),
-                  Denominator == 0
-                      ? std::string("none")
-                      : "1/" + TablePrinter::fmtInt(Denominator),
+    Rows[Cell] = {TablePrinter::fmtInt(Params.HotSets),
+                  ThreeQuarters      ? std::string("3/4")
+                  : Denominator == 0 ? std::string("none")
+                                     : "1/" + TablePrinter::fmtInt(Denominator),
                   TablePrinter::fmt(HotLevels, 1),
                   TablePrinter::fmt(double(Cycles) / Window, 1),
-                  TablePrinter::fmt(MissRate, 3)});
-  }
-  // Three-quarters of the cache hot.
-  {
-    CacheParams Params = Base;
-    Params.HotSets = Base.CacheSets * 3 / 4;
-    CTree Tree(Params);
-    Tree.adopt(Source.root());
-    uint64_t Cycles = steadyCycles(Tree, NumKeys, Warmup, Window, Config);
-    uint64_t K = std::max<uint64_t>(1, Params.BlockBytes / sizeof(BstNode));
-    model::CTreeModel Model(NumKeys, Params, K);
-    Table.addRow({TablePrinter::fmtInt(Params.HotSets), "3/4",
-                  TablePrinter::fmt(Model.reuseRs(), 1),
-                  TablePrinter::fmt(double(Cycles) / Window, 1),
-                  TablePrinter::fmt(Model.ccMissRate(), 3)});
-  }
+                  TablePrinter::fmt(MissRate, 3)};
+  });
+  for (const auto &Row : Rows)
+    Table.addRow(Row);
   Table.print();
   std::printf("\nThe paper's choice (p = c/2) sits near the sweet spot: "
               "each doubling of p buys one more\nresident tree level "

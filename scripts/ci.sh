@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+#===- scripts/ci.sh - Build + test across sanitizer presets ---------------===#
+#
+# Part of the cache-conscious structure layout library (PLDI'99 repro).
+#
+# Builds the release and asan presets and runs the full test suite on
+# both, then builds the tsan preset and runs the thread-sensitive tests
+# (the SweepRunner/simulator suite) under ThreadSanitizer. Any failure
+# aborts the script.
+#
+# Usage: scripts/ci.sh [jobs]
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+run_preset() {
+  local preset="$1"
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "=== [$preset] test ==="
+  ctest --preset "$preset" -j "$JOBS"
+}
+
+run_preset release
+run_preset asan
+
+# ThreadSanitizer pass: the test preset filters to the suites that
+# exercise the SweepRunner thread pool and the simulator it drives.
+# Pin the sweep width so the pool actually spawns workers even on
+# single-core CI machines.
+CCL_SWEEP_THREADS=4 run_preset tsan
+
+echo "=== CI OK ==="

@@ -7,6 +7,7 @@
 #include "sim/MemoryHierarchy.h"
 
 #include <algorithm>
+#include <vector>
 
 using namespace ccl::sim;
 
@@ -19,29 +20,33 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &Config)
   TranslationUnitBytes = std::max<uint64_t>(
       {Config.L2.CapacityBytes, Config.L1.CapacityBytes,
        Config.Tlb.PageBytes});
+  UnitShift = log2Exact(TranslationUnitBytes);
+  UnitMask = TranslationUnitBytes - 1;
+  L1BlockShift = log2Exact(Config.L1.BlockBytes);
 }
 
-uint64_t MemoryHierarchy::translate(uint64_t Addr) {
-  uint64_t Unit = Addr / TranslationUnitBytes;
-  uint64_t Offset = Addr % TranslationUnitBytes;
-  if (Unit != LastUnit) {
-    auto [It, Inserted] = UnitMap.try_emplace(Unit, NextUnit);
-    if (Inserted)
-      ++NextUnit;
+uint64_t MemoryHierarchy::translateSlow(uint64_t Addr) {
+  uint64_t Unit = Addr >> UnitShift;
+  if (uint64_t *Mapped = UnitMap.find(Unit)) {
     LastUnit = Unit;
-    LastMapped = It->second;
+    LastMapped = *Mapped;
+  } else {
+    UnitMap.tryInsert(Unit, NextUnit);
+    LastUnit = Unit;
+    LastMapped = NextUnit;
+    ++NextUnit;
   }
-  return LastMapped * TranslationUnitBytes + Offset;
+  return (LastMapped << UnitShift) | (Addr & UnitMask);
 }
 
 void MemoryHierarchy::accessRange(uint64_t Addr, uint64_t Size,
                                   bool IsWrite) {
   if (Size == 0)
     Size = 1;
-  uint64_t First = Addr / Config.L1.BlockBytes;
-  uint64_t Last = (Addr + Size - 1) / Config.L1.BlockBytes;
+  uint64_t First = Addr >> L1BlockShift;
+  uint64_t Last = (Addr + Size - 1) >> L1BlockShift;
   for (uint64_t Block = First; Block <= Last; ++Block)
-    accessBlock(translate(Block * Config.L1.BlockBytes), IsWrite);
+    accessBlock(translate(Block << L1BlockShift), IsWrite);
 }
 
 void MemoryHierarchy::accessBlock(uint64_t Addr, bool IsWrite) {
@@ -83,10 +88,9 @@ void MemoryHierarchy::handleL2Miss(uint64_t Addr, bool IsWrite) {
   (void)IsWrite;
   uint64_t Block = Config.L2.blockAddr(Addr);
 
-  auto It = InFlight.find(Block);
-  if (It != InFlight.end()) {
-    uint64_t Ready = It->second;
-    InFlight.erase(It);
+  if (uint64_t *ReadyAt = InFlight.find(Block)) {
+    uint64_t Ready = *ReadyAt;
+    InFlight.erase(Block);
     if (Ready <= Cycle) {
       // Prefetch completed before the demand access: a free L2 hit.
       ++Stats.L2Hits;
@@ -112,11 +116,8 @@ void MemoryHierarchy::handleL2Miss(uint64_t Addr, bool IsWrite) {
     uint64_t NextAddr = (Block + I) * Config.L2.BlockBytes;
     if (L2.contains(NextAddr))
       continue;
-    uint64_t NextBlock = Block + I;
-    if (!InFlight.count(NextBlock)) {
-      InFlight[NextBlock] = Cycle + Config.MemoryLatency;
+    if (InFlight.tryInsert(Block + I, Cycle + Config.MemoryLatency))
       ++Stats.HwPrefetches;
-    }
   }
   sweepInFlight();
 }
@@ -136,23 +137,24 @@ void MemoryHierarchy::prefetch(uint64_t Addr) {
   if (L1.contains(Addr) || L2.contains(Addr))
     return;
   uint64_t Block = Config.L2.blockAddr(Addr);
-  if (InFlight.count(Block))
+  if (!InFlight.tryInsert(Block, Cycle + Config.MemoryLatency))
     return;
-  InFlight[Block] = Cycle + Config.MemoryLatency;
   sweepInFlight();
 }
 
 void MemoryHierarchy::sweepInFlight() {
   if (InFlight.size() < 8192)
     return;
-  // Retire completed fills into L2; drop the rest of the completed set.
-  for (auto It = InFlight.begin(); It != InFlight.end();) {
-    if (It->second <= Cycle) {
-      installBoth(It->first * Config.L2.BlockBytes, false);
-      It = InFlight.erase(It);
-    } else {
-      ++It;
-    }
+  // Retire completed fills into L2 (in deterministic table order); keep
+  // the still-outstanding ones.
+  std::vector<uint64_t> Completed;
+  InFlight.forEach([&](uint64_t Block, uint64_t Ready) {
+    if (Ready <= Cycle)
+      Completed.push_back(Block);
+  });
+  for (uint64_t Block : Completed) {
+    InFlight.erase(Block);
+    installBoth(Block * Config.L2.BlockBytes, false);
   }
 }
 

@@ -13,6 +13,15 @@
 /// layout decisions made by ccmalloc/ccmorph translate directly into set
 /// indices and miss counts.
 ///
+/// Hot path: read()/write() first try an inline fast path that covers the
+/// overwhelmingly common case — a single-block access on the cached
+/// translation unit, hitting the most-recently-used TLB entry and the L1
+/// set's MRU way — using only shifts, masks, and compares. Everything
+/// else (multi-block ranges, unit changes, TLB misses, L1 misses) falls
+/// back to the full out-of-line path. The fast path performs bookkeeping
+/// identical to the slow path, so all statistics are bit-exact either
+/// way; tests/sim_golden_test.cpp locks this down.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCL_SIM_MEMORYHIERARCHY_H
@@ -21,11 +30,20 @@
 #include "sim/Cache.h"
 #include "sim/SimStats.h"
 #include "sim/Tlb.h"
+#include "support/FlatMap.h"
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 
 namespace ccl::sim {
+
+/// One element of a pre-recorded access trace (see
+/// MemoryHierarchy::readTrace).
+struct MemAccess {
+  uint64_t Addr = 0;
+  uint32_t Size = 1;
+  bool IsWrite = false;
+};
 
 /// A two-level blocking cache hierarchy with cycle accounting.
 ///
@@ -49,10 +67,25 @@ public:
 
   /// Simulates a data read of \p Size bytes at \p Addr. Accesses that
   /// span multiple L1 blocks touch each block once.
-  void read(uint64_t Addr, uint64_t Size) { accessRange(Addr, Size, false); }
+  void read(uint64_t Addr, uint64_t Size) {
+    if (!tryAccessFast(Addr, Size, false))
+      accessRange(Addr, Size, false);
+  }
 
   /// Simulates a data write of \p Size bytes at \p Addr (write-allocate).
-  void write(uint64_t Addr, uint64_t Size) { accessRange(Addr, Size, true); }
+  void write(uint64_t Addr, uint64_t Size) {
+    if (!tryAccessFast(Addr, Size, true))
+      accessRange(Addr, Size, true);
+  }
+
+  /// Replays a pre-recorded trace. Equivalent to calling read()/write()
+  /// per element, but keeps the hot path resident and amortizes the call
+  /// overhead — the preferred entry point for bulk simulation.
+  void readTrace(std::span<const MemAccess> Trace) {
+    for (const MemAccess &A : Trace)
+      if (!tryAccessFast(A.Addr, A.Size, A.IsWrite))
+        accessRange(A.Addr, A.Size, A.IsWrite);
+  }
 
   /// Issues a software prefetch for the L2 block containing \p Addr.
   void prefetch(uint64_t Addr);
@@ -80,6 +113,37 @@ private:
   /// prefetches are issued but never consumed.
   void sweepInFlight();
 
+  /// Inline fast path covering a single-block access on the cached
+  /// translation unit that hits the MRU TLB entry and the L1 MRU way.
+  /// Returns true if the access was fully handled (with bookkeeping
+  /// identical to the slow path); false with no state changed otherwise.
+  bool tryAccessFast(uint64_t Addr, uint64_t Size, bool IsWrite) {
+    uint64_t First = Addr >> L1BlockShift;
+    if ((Addr + (Size ? Size : 1) - 1) >> L1BlockShift != First)
+      return false;
+    if (Addr >> UnitShift != LastUnit)
+      return false;
+    uint64_t Aligned = First << L1BlockShift;
+    uint64_t Mapped = (LastMapped << UnitShift) | (Aligned & UnitMask);
+    // Probe both fast predicates before committing either: a failed
+    // probe must leave every structure untouched for the slow path.
+    if (Config.Tlb.Enabled && !TlbModel.fastPathMatches(Mapped))
+      return false;
+    if (!L1.mruMatches(Mapped))
+      return false;
+    if (IsWrite)
+      ++Stats.Writes;
+    else
+      ++Stats.Reads;
+    if (Config.Tlb.Enabled)
+      TlbModel.commitFastHit();
+    Stats.BusyCycles += Config.L1.HitLatency;
+    Cycle += Config.L1.HitLatency;
+    L1.commitMruHit(Mapped, IsWrite);
+    ++Stats.L1Hits;
+    return true;
+  }
+
   /// Deterministic virtual-to-simulated-physical translation: real
   /// process addresses vary run to run (ASLR, allocator), which would
   /// make simulated set indices nondeterministic. Addresses are remapped
@@ -87,7 +151,13 @@ private:
   /// intra-region offsets — so block sharing, page locality, and
   /// coloring (frames are capacity-aligned) are untouched while results
   /// become exactly reproducible.
-  uint64_t translate(uint64_t Addr);
+  uint64_t translate(uint64_t Addr) {
+    if (Addr >> UnitShift == LastUnit)
+      return (LastMapped << UnitShift) | (Addr & UnitMask);
+    return translateSlow(Addr);
+  }
+
+  uint64_t translateSlow(uint64_t Addr);
 
   HierarchyConfig Config;
   Cache L1;
@@ -96,9 +166,12 @@ private:
   uint64_t Cycle = 0;
   SimStats Stats;
   /// L2 block address -> cycle at which the prefetched fill completes.
-  std::unordered_map<uint64_t, uint64_t> InFlight;
+  FlatMap64 InFlight;
   uint64_t TranslationUnitBytes;
-  std::unordered_map<uint64_t, uint64_t> UnitMap;
+  uint32_t UnitShift;   ///< log2(TranslationUnitBytes).
+  uint64_t UnitMask;    ///< TranslationUnitBytes - 1.
+  uint32_t L1BlockShift;///< log2(L1 block size).
+  FlatMap64 UnitMap;
   uint64_t NextUnit = 1; // Unit 0 reserved so address 0 stays unique.
   // Single-entry translation cache (pointer chasing has strong unit
   // locality; this avoids a hash lookup on most accesses).

@@ -8,47 +8,43 @@
 
 using namespace ccl::sim;
 
-Tlb::Tlb(const TlbConfig &Config) : Config(Config), Entries(Config.Entries) {
+Tlb::Tlb(const TlbConfig &Config)
+    : Config(Config), PageShift(log2Exact(Config.PageBytes)),
+      Pages(Config.Entries + 1, EmptyPage), Prev(Config.Entries + 1),
+      Next(Config.Entries + 1), Sentinel(Config.Entries) {
   assert(isPowerOf2(Config.PageBytes) && "page size must be a power of two");
   assert(Config.Entries > 0 && "TLB needs at least one entry");
+  Prev[Sentinel] = Next[Sentinel] = Sentinel;
 }
 
-bool Tlb::access(uint64_t Addr) {
-  uint64_t Page = Addr / Config.PageBytes;
-  ++UseClock;
-
-  if (LastHit && LastHit->Valid && LastHit->Page == Page) {
-    LastHit->LastUse = UseClock;
+bool Tlb::accessSlow(uint64_t Page) {
+  if (uint64_t *Slot = Index.find(Page)) {
+    uint32_t N = uint32_t(*Slot);
     ++Hits;
+    unlink(N);
+    pushFront(N);
     return true;
   }
 
-  Entry *Victim = &Entries[0];
-  for (Entry &E : Entries) {
-    if (E.Valid && E.Page == Page) {
-      E.LastUse = UseClock;
-      ++Hits;
-      LastHit = &E;
-      return true;
-    }
-    if (!E.Valid)
-      Victim = &E;
-    else if (Victim->Valid && E.LastUse < Victim->LastUse)
-      Victim = &E;
-  }
-
   ++Misses;
-  Victim->Valid = true;
-  Victim->Page = Page;
-  Victim->LastUse = UseClock;
-  LastHit = Victim;
+  uint32_t N;
+  if (Used < Config.Entries) {
+    N = Used++;
+  } else {
+    N = Prev[Sentinel]; // True LRU victim.
+    unlink(N);
+    Index.erase(Pages[N]);
+  }
+  Pages[N] = Page;
+  Index.tryInsert(Page, N);
+  pushFront(N);
   return false;
 }
 
 void Tlb::reset() {
-  for (Entry &E : Entries)
-    E = Entry();
-  UseClock = 0;
+  std::fill(Pages.begin(), Pages.end(), EmptyPage);
+  Prev[Sentinel] = Next[Sentinel] = Sentinel;
+  Index.clear();
+  Used = 0;
   Hits = Misses = 0;
-  LastHit = nullptr;
 }

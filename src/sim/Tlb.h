@@ -11,12 +11,23 @@
 /// underestimation to unmodeled TLB gains; this model lets the simulator
 /// capture that effect.
 ///
+/// Hot-path design: instead of the textbook timestamp scan (O(entries)
+/// per access), the TLB keeps an open-addressing page index plus an
+/// intrusive doubly-linked recency list, making every access O(1). For a
+/// fully-associative LRU array the hit/miss sequence is a function of
+/// only the resident page set and its recency order — both maintained
+/// exactly here — so the statistics are bit-identical to the scan-based
+/// implementation (locked down by tests/sim_golden_test.cpp). The common
+/// case — consecutive accesses to the most-recently-used page — is an
+/// inline compare against the list head.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCL_SIM_TLB_H
 #define CCL_SIM_TLB_H
 
 #include "sim/CacheConfig.h"
+#include "support/FlatMap.h"
 
 #include <cstdint>
 #include <vector>
@@ -29,7 +40,25 @@ public:
   explicit Tlb(const TlbConfig &Config);
 
   /// Translates the page containing \p Addr. Returns true on a hit.
-  bool access(uint64_t Addr);
+  bool access(uint64_t Addr) {
+    uint64_t Page = Addr >> PageShift;
+    if (Pages[Next[Sentinel]] == Page) {
+      ++Hits;
+      return true;
+    }
+    return accessSlow(Page);
+  }
+
+  /// Fast-path probe: true iff \p Addr is on the most-recently-used page.
+  /// Never modifies state; a true result must be followed by
+  /// commitFastHit().
+  bool fastPathMatches(uint64_t Addr) const {
+    return Pages[Next[Sentinel]] == (Addr >> PageShift);
+  }
+
+  /// Commits the hit after fastPathMatches() returned true: identical
+  /// bookkeeping to the access() fast path (the entry is already MRU).
+  void commitFastHit() { ++Hits; }
 
   void reset();
 
@@ -38,20 +67,42 @@ public:
   const TlbConfig &config() const { return Config; }
 
 private:
-  struct Entry {
-    uint64_t Page = 0;
-    uint64_t LastUse = 0;
-    bool Valid = false;
-  };
+  /// Page tag stored in unused entries and the sentinel. Unreachable for
+  /// real pages: a page number is a byte address shifted right by
+  /// PageShift >= 1.
+  static constexpr uint64_t EmptyPage = ~0ULL;
+
+  /// Hash lookup + LRU-list maintenance for accesses off the MRU page.
+  bool accessSlow(uint64_t Page);
+
+  void unlink(uint32_t N) {
+    Next[Prev[N]] = Next[N];
+    Prev[Next[N]] = Prev[N];
+  }
+
+  void pushFront(uint32_t N) {
+    Next[N] = Next[Sentinel];
+    Prev[N] = Sentinel;
+    Prev[Next[Sentinel]] = N;
+    Next[Sentinel] = N;
+  }
 
   TlbConfig Config;
-  std::vector<Entry> Entries;
-  uint64_t UseClock = 0;
+  uint32_t PageShift;
+  /// Entry slot -> resident page (EmptyPage when unused). Slot Sentinel
+  /// is the circular list head: Next[Sentinel] is the MRU entry,
+  /// Prev[Sentinel] the LRU entry.
+  std::vector<uint64_t> Pages;
+  std::vector<uint32_t> Prev;
+  std::vector<uint32_t> Next;
+  /// Page -> entry slot for O(1) associative lookup.
+  FlatMap64 Index;
+  uint32_t Sentinel;
+  /// Number of slots ever used; slots are claimed in order before any
+  /// eviction happens.
+  uint32_t Used = 0;
   uint64_t Hits = 0;
   uint64_t Misses = 0;
-  /// Most-recently-hit entry: consecutive accesses to one page skip the
-  /// associative scan.
-  Entry *LastHit = nullptr;
 };
 
 } // namespace ccl::sim

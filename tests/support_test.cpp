@@ -6,6 +6,7 @@
 
 #include "support/Align.h"
 #include "support/Arena.h"
+#include "support/FlatMap.h"
 #include "support/Random.h"
 #include "support/Stats.h"
 #include "support/TablePrinter.h"
@@ -366,4 +367,110 @@ TEST(Zipf, EmpiricalRankOrdering) {
   EXPECT_GT(Hits[0], Hits[8]);
   EXPECT_GT(Hits[1], Hits[32]);
   EXPECT_GT(Hits[0], 5 * Hits[63]);
+}
+
+//===----------------------------------------------------------------------===//
+// FlatMap64
+//===----------------------------------------------------------------------===//
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap64 Map;
+  EXPECT_TRUE(Map.empty());
+  EXPECT_EQ(Map.find(42), nullptr);
+  EXPECT_TRUE(Map.tryInsert(42, 7));
+  EXPECT_FALSE(Map.tryInsert(42, 9)); // Present: value unchanged.
+  ASSERT_NE(Map.find(42), nullptr);
+  EXPECT_EQ(*Map.find(42), 7u);
+  EXPECT_EQ(Map.size(), 1u);
+  EXPECT_TRUE(Map.erase(42));
+  EXPECT_FALSE(Map.erase(42));
+  EXPECT_TRUE(Map.empty());
+}
+
+TEST(FlatMap, InsertOrAssignOverwrites) {
+  FlatMap64 Map;
+  Map.insertOrAssign(5, 1);
+  Map.insertOrAssign(5, 2);
+  ASSERT_NE(Map.find(5), nullptr);
+  EXPECT_EQ(*Map.find(5), 2u);
+  EXPECT_EQ(Map.size(), 1u);
+}
+
+TEST(FlatMap, GrowsAndMatchesReferenceMap) {
+  // Random interleaved insert/erase/lookup mirrored against std::map
+  // semantics via a sorted vector check at the end.
+  FlatMap64 Map;
+  std::vector<std::pair<uint64_t, uint64_t>> Reference;
+  Xoshiro256 Rng(0xF1A7ULL);
+  for (unsigned I = 0; I < 20000; ++I) {
+    uint64_t Key = Rng.nextBounded(4096);
+    if (Rng.nextBounded(3) == 0) {
+      bool Was = false;
+      for (auto It = Reference.begin(); It != Reference.end(); ++It)
+        if (It->first == Key) {
+          Reference.erase(It);
+          Was = true;
+          break;
+        }
+      EXPECT_EQ(Map.erase(Key), Was);
+    } else {
+      bool Inserted = Map.tryInsert(Key, I);
+      bool Expected = true;
+      for (auto &[K, V] : Reference)
+        if (K == Key)
+          Expected = false;
+      EXPECT_EQ(Inserted, Expected);
+      if (Inserted)
+        Reference.push_back({Key, I});
+    }
+  }
+  EXPECT_EQ(Map.size(), Reference.size());
+  for (auto &[K, V] : Reference) {
+    ASSERT_NE(Map.find(K), nullptr) << "key " << K;
+    EXPECT_EQ(*Map.find(K), V) << "key " << K;
+  }
+}
+
+TEST(FlatMap, ForEachVisitsEveryEntryOnce) {
+  FlatMap64 Map;
+  for (uint64_t K = 0; K < 500; ++K)
+    Map.tryInsert(K * 977, K);
+  std::set<uint64_t> Seen;
+  Map.forEach([&](uint64_t Key, uint64_t Value) {
+    EXPECT_EQ(Key, Value * 977);
+    EXPECT_TRUE(Seen.insert(Key).second);
+  });
+  EXPECT_EQ(Seen.size(), 500u);
+}
+
+TEST(FlatMap, EraseKeepsProbeChainsIntact) {
+  // Force a dense cluster of colliding keys, then erase from the middle
+  // of the probe chain; the backward shift must keep the rest findable.
+  FlatMap64 Map;
+  std::vector<uint64_t> Keys;
+  for (uint64_t K = 1; Keys.size() < 64; ++K)
+    Keys.push_back(K);
+  for (uint64_t K : Keys)
+    Map.tryInsert(K, K * 10);
+  for (size_t I = 0; I < Keys.size(); I += 3)
+    EXPECT_TRUE(Map.erase(Keys[I]));
+  for (size_t I = 0; I < Keys.size(); ++I) {
+    if (I % 3 == 0) {
+      EXPECT_EQ(Map.find(Keys[I]), nullptr);
+    } else {
+      ASSERT_NE(Map.find(Keys[I]), nullptr) << "key " << Keys[I];
+      EXPECT_EQ(*Map.find(Keys[I]), Keys[I] * 10);
+    }
+  }
+}
+
+TEST(FlatMap, ClearEmptiesTheTable) {
+  FlatMap64 Map;
+  for (uint64_t K = 1; K <= 100; ++K)
+    Map.tryInsert(K, K);
+  Map.clear();
+  EXPECT_TRUE(Map.empty());
+  EXPECT_EQ(Map.find(50), nullptr);
+  EXPECT_TRUE(Map.tryInsert(50, 1));
+  EXPECT_EQ(Map.size(), 1u);
 }
