@@ -7,7 +7,11 @@
 /// \file
 /// Small shared pieces for the per-figure/per-table benchmark binaries:
 /// a `--full` flag for paper-scale inputs (defaults are scaled down to
-/// finish in seconds), and percentage/normalization formatting.
+/// finish in seconds), percentage/normalization formatting, and the
+/// machine-readable summary channel: `--out <path>` (or the
+/// CCL_BENCH_OUT environment variable) selects a file to which the
+/// benchmark writes a ccl-bench-v1 JSON document via BenchJson, so CI
+/// can archive results without scraping tables.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,8 +21,11 @@
 #include "support/TablePrinter.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace ccl::bench {
 
@@ -29,6 +36,138 @@ inline bool fullScale(int Argc, char **Argv) {
       return true;
   return false;
 }
+
+/// True if \p Flag was passed verbatim.
+inline bool hasFlag(int Argc, char **Argv, const char *Flag) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], Flag) == 0)
+      return true;
+  return false;
+}
+
+/// Value of `<Flag> <value>` or `<Flag>=<value>`; empty when absent.
+inline std::string flagValue(int Argc, char **Argv, const char *Flag) {
+  size_t Len = std::strlen(Flag);
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], Flag) == 0 && I + 1 < Argc)
+      return Argv[I + 1];
+    if (std::strncmp(Argv[I], Flag, Len) == 0 && Argv[I][Len] == '=')
+      return Argv[I] + Len + 1;
+  }
+  return {};
+}
+
+/// Path for the machine-readable summary: `--out <path>` / `--out=<path>`
+/// beats the CCL_BENCH_OUT environment variable; empty means disabled.
+inline std::string benchOutPath(int Argc, char **Argv) {
+  std::string Path = flagValue(Argc, Argv, "--out");
+  if (!Path.empty())
+    return Path;
+  if (const char *Env = std::getenv("CCL_BENCH_OUT"))
+    return Env;
+  return {};
+}
+
+/// Accumulates one benchmark run's results and writes them as a single
+/// JSON document (schema ccl-bench-v1):
+///
+///   {"schema":"ccl-bench-v1","bench":"fig5","full":false,
+///    "results":[{"name":"...","cycles_per_search":123.4,...},...]}
+///
+/// Usage: beginResult() starts a result object; num()/integer()/str()
+/// append fields to the most recent one.
+class BenchJson {
+public:
+  BenchJson(std::string Bench, bool Full)
+      : Bench(std::move(Bench)), Full(Full) {}
+
+  void beginResult(const std::string &Name) {
+    Results.emplace_back();
+    str("name", Name);
+  }
+
+  void num(const std::string &Key, double Value) {
+    char Buffer[64];
+    std::snprintf(Buffer, sizeof(Buffer), "%.17g", Value);
+    addField(Key, Buffer);
+  }
+
+  void integer(const std::string &Key, uint64_t Value) {
+    char Buffer[32];
+    std::snprintf(Buffer, sizeof(Buffer), "%llu",
+                  static_cast<unsigned long long>(Value));
+    addField(Key, Buffer);
+  }
+
+  void str(const std::string &Key, const std::string &Value) {
+    addField(Key, "\"" + escape(Value) + "\"");
+  }
+
+  /// Writes the document to \p Path ("-" = stdout). Returns false (with
+  /// a note on stderr) if the file cannot be opened.
+  bool write(const std::string &Path) const {
+    std::FILE *Out =
+        Path == "-" ? stdout : std::fopen(Path.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "ccl-bench: cannot open %s for writing\n",
+                   Path.c_str());
+      return false;
+    }
+    std::fprintf(Out, "{\"schema\":\"ccl-bench-v1\",\"bench\":\"%s\","
+                      "\"full\":%s,\"results\":[",
+                 escape(Bench).c_str(), Full ? "true" : "false");
+    for (size_t R = 0; R < Results.size(); ++R) {
+      std::fprintf(Out, "%s{", R == 0 ? "" : ",");
+      for (size_t F = 0; F < Results[R].size(); ++F)
+        std::fprintf(Out, "%s%s", F == 0 ? "" : ",",
+                     Results[R][F].c_str());
+      std::fprintf(Out, "}");
+    }
+    std::fprintf(Out, "]}\n");
+    if (Out != stdout)
+      std::fclose(Out);
+    else
+      std::fflush(Out);
+    return true;
+  }
+
+  /// write() only if a path was selected; reports where the summary went.
+  void writeIfRequested(const std::string &Path) const {
+    if (Path.empty())
+      return;
+    if (write(Path) && Path != "-")
+      std::printf("\n[bench] wrote %s\n", Path.c_str());
+  }
+
+private:
+  static std::string escape(const std::string &Raw) {
+    std::string Out;
+    Out.reserve(Raw.size());
+    for (char C : Raw) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buffer[8];
+        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
+        Out += Buffer;
+        continue;
+      }
+      Out += C;
+    }
+    return Out;
+  }
+
+  void addField(const std::string &Key, const std::string &Rendered) {
+    if (Results.empty())
+      Results.emplace_back();
+    Results.back().push_back("\"" + escape(Key) + "\":" + Rendered);
+  }
+
+  std::string Bench;
+  bool Full;
+  /// Each result is a list of pre-rendered "key":value fields.
+  std::vector<std::vector<std::string>> Results;
+};
 
 inline void printHeader(const char *Title, const char *PaperRef,
                         bool Full) {

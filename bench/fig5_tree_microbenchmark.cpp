@@ -18,6 +18,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
+#include "obs/Attribution.h"
+#include "obs/Export.h"
+#include "obs/Region.h"
 #include "sim/AccessPolicy.h"
 #include "trees/CompactTree.h"
 #include "support/Random.h"
@@ -27,6 +30,7 @@
 #include "trees/CTree.h"
 
 #include <cinttypes>
+#include <memory>
 #include <vector>
 
 using namespace ccl;
@@ -167,6 +171,88 @@ int main(int Argc, char **Argv) {
               bench::speedupStr(Rand, Bt).c_str());
 
   //===------------------------------------------------------------------===//
+  // Telemetry: --profile renders a per-structure attribution report;
+  // --trace <path> additionally streams the events as a ccl-trace-v1
+  // JSONL dump (render it later with tools/cclstat).
+  //===------------------------------------------------------------------===//
+  std::string TracePath = bench::flagValue(Argc, Argv, "--trace");
+  if (bench::hasFlag(Argc, Argv, "--profile") || !TracePath.empty()) {
+    const uint64_t ProfileSearches = Full ? 200000 : 50000;
+
+    obs::RegionRegistry Registry;
+    Registry.registerArena(RandomTree.storage(), "random binary tree");
+    Registry.registerArena(DfsTree.storage(), "depth-first binary tree");
+    if (const ColoredArena *A = Btree.arena())
+      Registry.registerColoredArena(*A, "in-core B-tree");
+    if (const ColoredArena *A = Ctree.arena())
+      Registry.registerColoredArena(*A, "transparent C-tree");
+
+    obs::AttributionConfig AConfig =
+        obs::AttributionConfig::fromHierarchy(Config, Params.HotSets);
+    obs::AttributionSink Sink(Registry, AConfig);
+    obs::MultiObserver Fan;
+    Fan.add(&Sink);
+
+    std::FILE *TraceFile = nullptr;
+    std::unique_ptr<obs::TraceSink> Tracer;
+    if (!TracePath.empty()) {
+      TraceFile = std::fopen(TracePath.c_str(), "w");
+      if (!TraceFile) {
+        std::fprintf(stderr, "fig5: cannot open %s for writing\n",
+                     TracePath.c_str());
+        return 1;
+      }
+      obs::TraceSinkOptions Options;
+      std::string Sample = bench::flagValue(Argc, Argv, "--trace-sample");
+      if (!Sample.empty())
+        Options.SampleInterval = std::strtoull(Sample.c_str(), nullptr, 10);
+      Tracer = std::make_unique<obs::TraceSink>(TraceFile, AConfig,
+                                                &Registry, Options);
+      Fan.add(Tracer.get());
+    }
+
+    // One shared hierarchy for all four structures, so the report shows
+    // them side by side (caches stay warm across structures, like an
+    // application touching several data structures in turn).
+    sim::MemoryHierarchy M(Config);
+    M.attachObserver(&Fan);
+    sim::SimAccess A(M);
+    auto RunSearches = [&](auto &&Search) {
+      Xoshiro256 Rng(0xF16'5EEDULL);
+      for (uint64_t I = 0; I < ProfileSearches; ++I)
+        Search(BinarySearchTree::keyAt(Rng.nextBounded(NumKeys)), A);
+    };
+    RunSearches([&](uint32_t Key, auto &Acc) {
+      return RandomTree.search(Key, Acc) != nullptr;
+    });
+    RunSearches([&](uint32_t Key, auto &Acc) {
+      return DfsTree.search(Key, Acc) != nullptr;
+    });
+    RunSearches([&](uint32_t Key, auto &Acc) {
+      return Btree.contains(Key, Acc);
+    });
+    RunSearches([&](uint32_t Key, auto &Acc) {
+      return Ctree.search(Key, Acc) != nullptr;
+    });
+    Sink.finalize();
+
+    std::printf("\n--- telemetry: %" PRIu64
+                " searches per structure, one shared hierarchy ---\n\n",
+                ProfileSearches);
+    Sink.printReport();
+    if (!M.stats().isConsistent())
+      std::fprintf(stderr, "fig5: WARNING: inconsistent simulator stats\n");
+    if (TraceFile) {
+      std::fclose(TraceFile);
+      std::printf("\nwrote %" PRIu64 " trace lines to %s "
+                  "(render: cclstat %s)\n",
+                  Tracer->linesWritten(), TracePath.c_str(),
+                  TracePath.c_str());
+    }
+    M.attachObserver(nullptr);
+  }
+
+  //===------------------------------------------------------------------===//
   // 32-bit-offset ("paper regime") section: 12-byte nodes, k = 5.
   //===------------------------------------------------------------------===//
   std::printf("\n--- 32-bit compact-node mode (the paper's SPARC-32 "
@@ -247,5 +333,22 @@ int main(int Argc, char **Argv) {
               bench::speedupStr(CBt, CCt).c_str());
   std::printf("  C-tree vs B-tree(.50):      %s  (paper: ~1.5x)\n",
               bench::speedupStr(CBtHalf, CCt).c_str());
+
+  // Machine-readable summary (--out <path> / CCL_BENCH_OUT).
+  bench::BenchJson Json("fig5", Full);
+  auto AddSeries = [&](const char *Section,
+                       const std::vector<SearchSeries> &All) {
+    for (const SearchSeries &S : All)
+      for (size_t I = 0; I < SearchCounts.size(); ++I) {
+        Json.beginResult(S.Name);
+        Json.str("section", Section);
+        Json.integer("searches", SearchCounts[I]);
+        Json.num("cycles_per_search", S.CyclesPerSearch[I]);
+        Json.num("nanos_per_search", S.NanosPerSearch[I]);
+      }
+  };
+  AddSeries("64bit", Series);
+  AddSeries("compact", CSeries);
+  Json.writeIfRequested(bench::benchOutPath(Argc, Argv));
   return 0;
 }

@@ -105,6 +105,7 @@ int main(int Argc, char **Argv) {
   };
 
   sim::HierarchyConfig Config = sim::HierarchyConfig::rsimTable1();
+  bench::BenchJson Json("fig7", Full);
 
   for (const BenchDef &Bench : Benchmarks) {
     std::printf("--- %s ---\n", Bench.Name.c_str());
@@ -136,6 +137,16 @@ int main(int Argc, char **Argv) {
            TablePrinter::fmt(100.0 * R.Stats.PrefetchIssueCycles / Total, 1),
            TablePrinter::fmtInt(R.Stats.L2Misses),
            R.Checksum == Base.Checksum ? "yes" : "NO!"});
+      Json.beginResult(Bench.Name);
+      Json.str("variant", shortName(V));
+      Json.num("norm_time", 100.0 * Total / BaseTotal);
+      Json.integer("total_cycles", R.Stats.totalCycles());
+      Json.integer("busy_cycles", R.Stats.BusyCycles);
+      Json.integer("l1_stall_cycles", R.Stats.L1StallCycles);
+      Json.integer("l2_stall_cycles", R.Stats.L2StallCycles);
+      Json.integer("tlb_stall_cycles", R.Stats.TlbStallCycles);
+      Json.integer("l2_misses", R.Stats.L2Misses);
+      Json.integer("checksum_ok", R.Checksum == Base.Checksum ? 1 : 0);
     }
     Table.print();
     double BaseTotal = double(Base.Stats.totalCycles());
@@ -150,5 +161,6 @@ int main(int Argc, char **Argv) {
               "ccmalloc-NA > prefetching except treeadd;\n"
               "treeadd/perimeter gains modest (creation order == dominant "
               "traversal order).\n");
+  Json.writeIfRequested(bench::benchOutPath(Argc, Argv));
   return 0;
 }

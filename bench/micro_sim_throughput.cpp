@@ -13,11 +13,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchCommon.h"
 #include "sim/MemoryHierarchy.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstring>
+#include <string>
 #include <vector>
 
 using namespace ccl::sim;
@@ -121,11 +124,68 @@ void SimRandom(benchmark::State &State) {
   runTrace(State, TraceKind::Random);
 }
 
+// The observed path: same pointer chase with a minimal counting observer
+// attached. The gap to SimPointerChase is the full price of telemetry
+// (slow-path routing + event construction + one virtual call per block);
+// the unobserved runs above are the witness that detached costs nothing.
+struct CountingObserver final : ccl::obs::SimObserver {
+  uint64_t Accesses = 0;
+  void onAccess(const ccl::obs::AccessEvent &Event) override {
+    Accesses += Event.Size != 0;
+  }
+};
+
+void SimPointerChaseObserved(benchmark::State &State) {
+  const std::vector<uint64_t> Trace =
+      makeTrace(TraceKind::PointerChase, 1 << 20);
+  MemoryHierarchy M(presetFor(State.range(0)));
+  CountingObserver Obs;
+  M.attachObserver(&Obs);
+  for (auto _ : State) {
+    for (uint64_t Addr : Trace)
+      M.read(Addr, 8);
+    benchmark::DoNotOptimize(Obs.Accesses);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(Trace.size()));
+  State.SetLabel(State.range(0) == 0 ? "e5000" : "rsim");
+}
+
 BENCHMARK(SimPointerChase)->Arg(0)->Arg(1);
 BENCHMARK(SimPointerChaseBatch)->Arg(0)->Arg(1);
 BENCHMARK(SimStreaming)->Arg(0)->Arg(1);
 BENCHMARK(SimRandom)->Arg(0)->Arg(1);
+BENCHMARK(SimPointerChaseObserved)->Arg(0)->Arg(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main so `--out <path>` / CCL_BENCH_OUT map onto google-
+// benchmark's JSON reporter (--benchmark_out) — the same machine-
+// readable channel the figure benchmarks use.
+int main(int Argc, char **Argv) {
+  std::string OutPath = ccl::bench::benchOutPath(Argc, Argv);
+  std::vector<char *> Args;
+  for (int I = 0; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--out") == 0 && I + 1 < Argc) {
+      ++I;
+      continue;
+    }
+    if (std::strncmp(Argv[I], "--out=", 6) == 0)
+      continue;
+    Args.push_back(Argv[I]);
+  }
+  std::string OutFlag, FormatFlag;
+  if (!OutPath.empty()) {
+    OutFlag = "--benchmark_out=" + OutPath;
+    FormatFlag = "--benchmark_out_format=json";
+    Args.push_back(OutFlag.data());
+    Args.push_back(FormatFlag.data());
+  }
+  int N = int(Args.size());
+  benchmark::Initialize(&N, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(N, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -35,4 +35,19 @@ run_preset asan
 # single-core CI machines.
 CCL_SWEEP_THREADS=4 run_preset tsan
 
+# Machine-readable benchmark artifacts (schema ccl-bench-v1 /
+# google-benchmark JSON), opt-in because the figure benches add minutes:
+#   CCL_BENCH_ARTIFACTS=1 scripts/ci.sh
+# Artifacts land in artifacts/ (override with CCL_BENCH_DIR).
+if [[ "${CCL_BENCH_ARTIFACTS:-0}" == "1" ]]; then
+  ART="${CCL_BENCH_DIR:-artifacts}"
+  mkdir -p "$ART"
+  echo "=== bench artifacts -> $ART ==="
+  build-release/bench/micro_sim_throughput \
+    --out "$ART/BENCH_sim_throughput.json"
+  build-release/bench/fig5_tree_microbenchmark \
+    --out "$ART/BENCH_fig5.json"
+  build-release/bench/fig7_olden --out "$ART/BENCH_fig7.json"
+fi
+
 echo "=== CI OK ==="

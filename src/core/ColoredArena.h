@@ -70,6 +70,14 @@ public:
   uint64_t hotBytesUsed() const { return HotUsed; }
   uint64_t coldBytesUsed() const { return ColdUsed; }
 
+  /// Invokes \p Callback(FrameBase, FrameBytes, HotBytes) for every
+  /// allocated frame: [FrameBase, FrameBase + HotBytes) are the frame's
+  /// hot slots, the rest is cold. Used for telemetry region registration.
+  template <typename Fn> void forEachFrame(Fn &&Callback) const {
+    for (const char *Frame : Frames)
+      Callback(Frame, FrameBytes, HotBytes);
+  }
+
 private:
   struct Cursor {
     size_t Frame = 0;

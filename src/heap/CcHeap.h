@@ -136,6 +136,13 @@ public:
     return Stats.PagesAllocated * Config.PageBytes;
   }
 
+  /// Invokes \p Callback(Base, PageBytes) for every committed page (in
+  /// unspecified order). Used for telemetry region registration.
+  template <typename Fn> void forEachPage(Fn &&Callback) const {
+    for (const auto &[Addr, Page] : Pages)
+      Callback(static_cast<const char *>(Page->Base), size_t(Config.PageBytes));
+  }
+
 private:
   struct PageInfo {
     char *Base = nullptr;

@@ -49,13 +49,49 @@ void MemoryHierarchy::accessRange(uint64_t Addr, uint64_t Size,
     accessBlock(translate(Block << L1BlockShift), IsWrite);
 }
 
-void MemoryHierarchy::accessBlock(uint64_t Addr, bool IsWrite) {
+void MemoryHierarchy::accessRangeObserved(uint64_t Addr, uint64_t Size,
+                                          bool IsWrite) {
+  if (Size == 0)
+    Size = 1;
+  uint64_t First = Addr >> L1BlockShift;
+  uint64_t Last = (Addr + Size - 1) >> L1BlockShift;
+  for (uint64_t Block = First; Block <= Last; ++Block) {
+    uint64_t Base = Block << L1BlockShift;
+    uint64_t Lo = std::max(Addr, Base);
+    uint64_t Hi = std::min(Addr + Size, Base + Config.L1.BlockBytes);
+    uint64_t Mapped = translate(Base);
+    uint64_t Before = Cycle;
+    BlockOutcome Out = accessBlock(Mapped, IsWrite);
+
+    obs::AccessEvent Event;
+    Event.VAddr = Lo;
+    Event.Mapped = Mapped + (Lo - Base);
+    Event.Size = uint32_t(Hi - Lo);
+    Event.IsWrite = IsWrite;
+    Event.TlbMiss = Out.TlbMiss;
+    Event.Level = Out.Level;
+    Event.Cycles = uint32_t(Cycle - Before);
+    Event.Now = Cycle;
+    Obs->onAccess(Event);
+    // Eviction events follow the access that caused them; the evicted
+    // block is always distinct from the one just filled.
+    if (Out.L1Evicted)
+      Obs->onEvict({1, Out.L1Writeback, Out.L1Victim, Cycle});
+    if (Out.L2Evicted)
+      Obs->onEvict({2, Out.L2Writeback, Out.L2Victim, Cycle});
+  }
+}
+
+MemoryHierarchy::BlockOutcome MemoryHierarchy::accessBlock(uint64_t Addr,
+                                                           bool IsWrite) {
+  BlockOutcome Out;
   if (IsWrite)
     ++Stats.Writes;
   else
     ++Stats.Reads;
 
   if (Config.Tlb.Enabled && !TlbModel.access(Addr)) {
+    Out.TlbMiss = true;
     ++Stats.TlbMisses;
     Stats.TlbStallCycles += Config.Tlb.MissLatency;
     Cycle += Config.Tlb.MissLatency;
@@ -68,23 +104,32 @@ void MemoryHierarchy::accessBlock(uint64_t Addr, bool IsWrite) {
   CacheAccessResult L1Result = L1.access(Addr, IsWrite);
   if (L1Result.Hit) {
     ++Stats.L1Hits;
-    return;
+    return Out;
   }
   ++Stats.L1Misses;
   Stats.L1StallCycles += Config.L2.HitLatency;
   Cycle += Config.L2.HitLatency;
+  Out.L1Evicted = L1Result.Evicted;
+  Out.L1Writeback = L1Result.WritebackVictim;
+  Out.L1Victim = L1Result.VictimBlock * Config.L1.BlockBytes;
 
   CacheAccessResult L2Result = L2.access(Addr, IsWrite);
   if (L2Result.Hit) {
     ++Stats.L2Hits;
-    return;
+    Out.Level = obs::AccessLevel::L2Hit;
+    return Out;
   }
   if (L2Result.WritebackVictim)
     ++Stats.Writebacks;
-  handleL2Miss(Addr, IsWrite);
+  Out.L2Evicted = L2Result.Evicted;
+  Out.L2Writeback = L2Result.WritebackVictim;
+  Out.L2Victim = L2Result.VictimBlock * Config.L2.BlockBytes;
+  Out.Level = handleL2Miss(Addr, IsWrite);
+  return Out;
 }
 
-void MemoryHierarchy::handleL2Miss(uint64_t Addr, bool IsWrite) {
+ccl::obs::AccessLevel MemoryHierarchy::handleL2Miss(uint64_t Addr,
+                                                    bool IsWrite) {
   (void)IsWrite;
   uint64_t Block = Config.L2.blockAddr(Addr);
 
@@ -95,7 +140,7 @@ void MemoryHierarchy::handleL2Miss(uint64_t Addr, bool IsWrite) {
       // Prefetch completed before the demand access: a free L2 hit.
       ++Stats.L2Hits;
       ++Stats.PrefetchFullHits;
-      return;
+      return obs::AccessLevel::PrefetchFull;
     }
     // Partial overlap: stall only for the residual fill latency.
     uint64_t Residual = Ready - Cycle;
@@ -103,7 +148,7 @@ void MemoryHierarchy::handleL2Miss(uint64_t Addr, bool IsWrite) {
     ++Stats.PrefetchPartialHits;
     Stats.L2StallCycles += Residual;
     Cycle += Residual;
-    return;
+    return obs::AccessLevel::PrefetchPartial;
   }
 
   ++Stats.L2Misses;
@@ -116,23 +161,40 @@ void MemoryHierarchy::handleL2Miss(uint64_t Addr, bool IsWrite) {
     uint64_t NextAddr = (Block + I) * Config.L2.BlockBytes;
     if (L2.contains(NextAddr))
       continue;
-    if (InFlight.tryInsert(Block + I, Cycle + Config.MemoryLatency))
+    if (InFlight.tryInsert(Block + I, Cycle + Config.MemoryLatency)) {
       ++Stats.HwPrefetches;
+      if (Obs != nullptr) [[unlikely]]
+        // Next-line prefetches exist only in mapped space; no VAddr.
+        Obs->onPrefetch({0, NextAddr, false, Cycle});
+    }
   }
   sweepInFlight();
+  return obs::AccessLevel::Memory;
 }
 
 void MemoryHierarchy::installBoth(uint64_t Addr, bool Dirty) {
-  if (L2.install(Addr, Dirty).WritebackVictim)
+  CacheAccessResult L2Result = L2.install(Addr, Dirty);
+  if (L2Result.WritebackVictim)
     ++Stats.Writebacks;
-  L1.install(Addr, Dirty);
+  CacheAccessResult L1Result = L1.install(Addr, Dirty);
+  if (Obs != nullptr) [[unlikely]] {
+    if (L2Result.Evicted)
+      Obs->onEvict({2, L2Result.WritebackVictim,
+                    L2Result.VictimBlock * Config.L2.BlockBytes, Cycle});
+    if (L1Result.Evicted)
+      Obs->onEvict({1, L1Result.WritebackVictim,
+                    L1Result.VictimBlock * Config.L1.BlockBytes, Cycle});
+  }
 }
 
 void MemoryHierarchy::prefetch(uint64_t Addr) {
+  uint64_t VAddr = Addr;
   Addr = translate(Addr);
   ++Stats.SwPrefetches;
   Stats.PrefetchIssueCycles += Config.PrefetchIssueCost;
   Cycle += Config.PrefetchIssueCost;
+  if (Obs != nullptr) [[unlikely]]
+    Obs->onPrefetch({VAddr, Addr, true, Cycle});
 
   if (L1.contains(Addr) || L2.contains(Addr))
     return;

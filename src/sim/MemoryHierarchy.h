@@ -22,11 +22,18 @@
 /// identical to the slow path, so all statistics are bit-exact either
 /// way; tests/sim_golden_test.cpp locks this down.
 ///
+/// Telemetry: attachObserver() hooks an obs::SimObserver into the
+/// hierarchy. Observed runs bypass the fast path (keeping statistics
+/// bit-identical, since the slow path's bookkeeping is the same) and
+/// emit per-access, eviction, and prefetch events; unobserved runs pay
+/// only a null compare. See src/obs/ for the sinks.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCL_SIM_MEMORYHIERARCHY_H
 #define CCL_SIM_MEMORYHIERARCHY_H
 
+#include "obs/Observer.h"
 #include "sim/Cache.h"
 #include "sim/SimStats.h"
 #include "sim/Tlb.h"
@@ -68,12 +75,16 @@ public:
   /// Simulates a data read of \p Size bytes at \p Addr. Accesses that
   /// span multiple L1 blocks touch each block once.
   void read(uint64_t Addr, uint64_t Size) {
+    if (Obs != nullptr) [[unlikely]]
+      return accessRangeObserved(Addr, Size, false);
     if (!tryAccessFast(Addr, Size, false))
       accessRange(Addr, Size, false);
   }
 
   /// Simulates a data write of \p Size bytes at \p Addr (write-allocate).
   void write(uint64_t Addr, uint64_t Size) {
+    if (Obs != nullptr) [[unlikely]]
+      return accessRangeObserved(Addr, Size, true);
     if (!tryAccessFast(Addr, Size, true))
       accessRange(Addr, Size, true);
   }
@@ -82,6 +93,11 @@ public:
   /// per element, but keeps the hot path resident and amortizes the call
   /// overhead — the preferred entry point for bulk simulation.
   void readTrace(std::span<const MemAccess> Trace) {
+    if (Obs != nullptr) [[unlikely]] {
+      for (const MemAccess &A : Trace)
+        accessRangeObserved(A.Addr, A.Size, A.IsWrite);
+      return;
+    }
     for (const MemAccess &A : Trace)
       if (!tryAccessFast(A.Addr, A.Size, A.IsWrite))
         accessRange(A.Addr, A.Size, A.IsWrite);
@@ -98,16 +114,46 @@ public:
   const Cache &l2() const { return L2; }
   const Tlb &tlb() const { return TlbModel; }
 
+  /// Attaches (or, with null, detaches) a telemetry observer.
+  ///
+  /// Contract: while an observer is attached, every access is routed
+  /// through the out-of-line slow path — whose bookkeeping is identical
+  /// to the inline fast path — so all statistics remain bit-identical to
+  /// an unobserved run (locked down by tests/sim_golden_test.cpp). With
+  /// no observer attached the only cost is one predictable null compare
+  /// per read()/write() call. The observer survives reset().
+  void attachObserver(obs::SimObserver *Observer) { Obs = Observer; }
+  obs::SimObserver *observer() const { return Obs; }
+
   /// Empties caches, TLB, in-flight prefetches, and statistics.
   void reset();
 
 private:
+  /// Everything the observer needs to know about one block access that
+  /// the statistics counters do not already say.
+  struct BlockOutcome {
+    obs::AccessLevel Level = obs::AccessLevel::L1Hit;
+    bool TlbMiss = false;
+    bool L1Evicted = false;
+    bool L1Writeback = false;
+    bool L2Evicted = false;
+    bool L2Writeback = false;
+    /// Mapped byte addresses of the evicted blocks' bases.
+    uint64_t L1Victim = 0;
+    uint64_t L2Victim = 0;
+  };
+
   void accessRange(uint64_t Addr, uint64_t Size, bool IsWrite);
-  void accessBlock(uint64_t Addr, bool IsWrite);
+  /// Observer-enabled twin of accessRange: same simulation, but emits an
+  /// AccessEvent (with the per-block virtual byte span) and eviction
+  /// events for every block touched.
+  void accessRangeObserved(uint64_t Addr, uint64_t Size, bool IsWrite);
+  BlockOutcome accessBlock(uint64_t Addr, bool IsWrite);
   /// Handles an access that missed both caches; charges residual latency
   /// if the block is in flight, otherwise a full memory stall, and asks
-  /// the hardware prefetcher to act.
-  void handleL2Miss(uint64_t Addr, bool IsWrite);
+  /// the hardware prefetcher to act. Returns how the latency was
+  /// (partially) hidden.
+  obs::AccessLevel handleL2Miss(uint64_t Addr, bool IsWrite);
   void installBoth(uint64_t Addr, bool Dirty);
   /// Prevents the in-flight map from growing without bound when software
   /// prefetches are issued but never consumed.
@@ -165,6 +211,8 @@ private:
   Tlb TlbModel;
   uint64_t Cycle = 0;
   SimStats Stats;
+  /// Telemetry sink; null (the common case) means fully disabled.
+  obs::SimObserver *Obs = nullptr;
   /// L2 block address -> cycle at which the prefetched fill completes.
   FlatMap64 InFlight;
   uint64_t TranslationUnitBytes;

@@ -65,6 +65,65 @@ struct SimStats {
     uint64_t Refs = memoryReferences();
     return Refs == 0 ? 0.0 : static_cast<double>(totalCycles()) / Refs;
   }
+
+  /// Accumulates another run's counters (e.g. summing per-phase deltas).
+  SimStats &operator+=(const SimStats &Other) {
+    Reads += Other.Reads;
+    Writes += Other.Writes;
+    SwPrefetches += Other.SwPrefetches;
+    HwPrefetches += Other.HwPrefetches;
+    L1Hits += Other.L1Hits;
+    L1Misses += Other.L1Misses;
+    L2Hits += Other.L2Hits;
+    L2Misses += Other.L2Misses;
+    PrefetchFullHits += Other.PrefetchFullHits;
+    PrefetchPartialHits += Other.PrefetchPartialHits;
+    TlbMisses += Other.TlbMisses;
+    Writebacks += Other.Writebacks;
+    BusyCycles += Other.BusyCycles;
+    L1StallCycles += Other.L1StallCycles;
+    L2StallCycles += Other.L2StallCycles;
+    TlbStallCycles += Other.TlbStallCycles;
+    PrefetchIssueCycles += Other.PrefetchIssueCycles;
+    return *this;
+  }
+
+  /// Counters accumulated between two snapshots of the same hierarchy
+  /// (\p Before taken earlier than \p After, no reset in between) —
+  /// the standard way to isolate one phase of a longer simulation.
+  static SimStats delta(const SimStats &Before, const SimStats &After) {
+    SimStats Out;
+    Out.Reads = After.Reads - Before.Reads;
+    Out.Writes = After.Writes - Before.Writes;
+    Out.SwPrefetches = After.SwPrefetches - Before.SwPrefetches;
+    Out.HwPrefetches = After.HwPrefetches - Before.HwPrefetches;
+    Out.L1Hits = After.L1Hits - Before.L1Hits;
+    Out.L1Misses = After.L1Misses - Before.L1Misses;
+    Out.L2Hits = After.L2Hits - Before.L2Hits;
+    Out.L2Misses = After.L2Misses - Before.L2Misses;
+    Out.PrefetchFullHits = After.PrefetchFullHits - Before.PrefetchFullHits;
+    Out.PrefetchPartialHits =
+        After.PrefetchPartialHits - Before.PrefetchPartialHits;
+    Out.TlbMisses = After.TlbMisses - Before.TlbMisses;
+    Out.Writebacks = After.Writebacks - Before.Writebacks;
+    Out.BusyCycles = After.BusyCycles - Before.BusyCycles;
+    Out.L1StallCycles = After.L1StallCycles - Before.L1StallCycles;
+    Out.L2StallCycles = After.L2StallCycles - Before.L2StallCycles;
+    Out.TlbStallCycles = After.TlbStallCycles - Before.TlbStallCycles;
+    Out.PrefetchIssueCycles =
+        After.PrefetchIssueCycles - Before.PrefetchIssueCycles;
+    return Out;
+  }
+
+  /// Internal bookkeeping identities that hold for every hierarchy run
+  /// (and every delta of one): each reference hits or misses L1, and
+  /// each L1 miss is resolved by L2 or beyond. Prefetch-full hits count
+  /// as L2 hits, so they are covered by the second identity.
+  bool isConsistent() const {
+    return Reads + Writes == L1Hits + L1Misses &&
+           L1Misses == L2Hits + L2Misses &&
+           PrefetchFullHits + PrefetchPartialHits <= L1Misses;
+  }
 };
 
 } // namespace ccl::sim

@@ -60,7 +60,7 @@ static void *alignedAllocOrDie(size_t Align, size_t Bytes) {
 void Arena::newSlab(size_t MinBytes) {
   size_t Bytes = alignUp(std::max(SlabBytes, MinBytes), SlabAlign);
   void *Memory = alignedAllocOrDie(SlabAlign, Bytes);
-  Slabs.push_back(Memory);
+  Slabs.push_back({Memory, Bytes});
   Cursor = static_cast<char *>(Memory);
   SlabEnd = Cursor + Bytes;
   BytesReserved += Bytes;
@@ -83,15 +83,15 @@ void *Arena::allocate(size_t Bytes, size_t Align) {
 void *Arena::allocateSlab(size_t Bytes) {
   size_t Rounded = alignUp(Bytes, SlabAlign);
   void *Memory = alignedAllocOrDie(SlabAlign, Rounded);
-  Slabs.push_back(Memory);
+  Slabs.push_back({Memory, Rounded});
   BytesReserved += Rounded;
   BytesAllocated += Bytes;
   return Memory;
 }
 
 void Arena::reset() {
-  for (void *Slab : Slabs)
-    std::free(Slab);
+  for (const Slab &S : Slabs)
+    std::free(S.Base);
   Slabs.clear();
   Cursor = SlabEnd = nullptr;
   BytesAllocated = BytesReserved = 0;

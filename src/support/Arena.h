@@ -62,12 +62,26 @@ public:
 
   size_t slabCount() const { return Slabs.size(); }
 
+  /// Invokes \p Callback(Base, Bytes) for every slab the arena owns, in
+  /// allocation order. Bytes is the reserved extent (including bump space
+  /// not yet handed out) — the address range the arena's allocations can
+  /// ever fall in, which is what region registration wants.
+  template <typename Fn> void forEachSlab(Fn &&Callback) const {
+    for (const Slab &S : Slabs)
+      Callback(static_cast<const void *>(S.Base), S.Bytes);
+  }
+
 private:
+  struct Slab {
+    void *Base;
+    size_t Bytes;
+  };
+
   void newSlab(size_t MinBytes);
 
   size_t SlabBytes;
   size_t SlabAlign;
-  std::vector<void *> Slabs;
+  std::vector<Slab> Slabs;
   char *Cursor = nullptr;
   char *SlabEnd = nullptr;
   size_t BytesAllocated = 0;

@@ -110,6 +110,12 @@ public:
   uint64_t nodeCount() const { return Nodes; }
   uint64_t storageBytes() const { return Nodes * sizeof(BTreeNode); }
 
+  /// Colored node arena (telemetry region registration); null before
+  /// the tree is built.
+  const ColoredArena *arena() const {
+    return Morph ? Morph->arena() : nullptr;
+  }
+
 private:
   BTree() = default;
 

@@ -120,6 +120,9 @@ public:
   /// Bytes consumed by node storage.
   uint64_t storageBytes() const { return NumNodes * sizeof(BstNode); }
 
+  /// Backing arena of the nodes (telemetry region registration).
+  const Arena &storage() const { return Storage; }
+
 private:
   BinarySearchTree() = default;
 

@@ -17,6 +17,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Observer.h"
 #include "sim/MemoryHierarchy.h"
 #include "support/SweepRunner.h"
 
@@ -240,6 +241,35 @@ void expectEqual(const GoldenStats &Expected, const GoldenStats &Actual,
   EXPECT_EQ(Expected.TlbMissCount, Actual.TlbMissCount);
 }
 
+// Counts every delivered event; used to prove that attaching an
+// observer leaves the golden statistics bit-identical and that the
+// event stream reconciles exactly with those statistics.
+struct TallyObserver final : obs::SimObserver {
+  uint64_t Accesses = 0, WriteEvents = 0, TlbMissEvents = 0;
+  uint64_t LevelCounts[5] = {};
+  uint64_t EventCycles = 0;
+  uint64_t EvictEvents[3] = {};     // indexed by EvictEvent::Level
+  uint64_t WritebackEvents[3] = {}; // likewise
+  uint64_t SwPrefetchEvents = 0, HwPrefetchEvents = 0;
+
+  void onAccess(const obs::AccessEvent &Event) override {
+    ++Accesses;
+    WriteEvents += Event.IsWrite;
+    TlbMissEvents += Event.TlbMiss;
+    ++LevelCounts[size_t(Event.Level)];
+    EventCycles += Event.Cycles;
+  }
+  void onEvict(const obs::EvictEvent &Event) override {
+    ++EvictEvents[Event.Level];
+    WritebackEvents[Event.Level] += Event.Writeback;
+  }
+  void onPrefetch(const obs::PrefetchEvent &Event) override {
+    ++(Event.Software ? SwPrefetchEvents : HwPrefetchEvents);
+  }
+
+  uint64_t level(obs::AccessLevel L) const { return LevelCounts[size_t(L)]; }
+};
+
 } // namespace
 
 TEST(SimGolden, StatsMatchSeedImplementation) {
@@ -249,6 +279,114 @@ TEST(SimGolden, StatsMatchSeedImplementation) {
     expectEqual(Case.Expected, collect(M),
                 std::string(Case.Trace) + "/" + Case.Preset);
   }
+}
+
+TEST(SimGolden, ObservedRunsStayBitIdentical) {
+  // Attaching an observer must not perturb a single statistic in any of
+  // the six golden combinations, and the delivered event stream must
+  // reconcile exactly with the counters the simulator kept itself.
+  for (const GoldenCase &Case : GoldenCases) {
+    SCOPED_TRACE(std::string("observed/") + Case.Trace + "/" + Case.Preset);
+    MemoryHierarchy M(presetByName(Case.Preset, Case.Trace));
+    TallyObserver Tally;
+    M.attachObserver(&Tally);
+    std::vector<TraceOp> Ops = traceByName(Case.Trace);
+    replay(M, Ops);
+    expectEqual(Case.Expected, collect(M), "golden stats");
+
+    const SimStats &S = M.stats();
+    EXPECT_TRUE(S.isConsistent());
+    EXPECT_EQ(Tally.Accesses, S.memoryReferences());
+    EXPECT_EQ(Tally.WriteEvents, S.Writes);
+    EXPECT_EQ(Tally.TlbMissEvents, S.TlbMisses);
+    EXPECT_EQ(Tally.level(obs::AccessLevel::L1Hit), S.L1Hits);
+    EXPECT_EQ(Tally.level(obs::AccessLevel::L2Hit) +
+                  Tally.level(obs::AccessLevel::PrefetchFull),
+              S.L2Hits);
+    EXPECT_EQ(Tally.level(obs::AccessLevel::Memory) +
+                  Tally.level(obs::AccessLevel::PrefetchPartial),
+              S.L2Misses);
+    EXPECT_EQ(Tally.level(obs::AccessLevel::PrefetchFull),
+              S.PrefetchFullHits);
+    EXPECT_EQ(Tally.level(obs::AccessLevel::PrefetchPartial),
+              S.PrefetchPartialHits);
+    EXPECT_EQ(Tally.SwPrefetchEvents, S.SwPrefetches);
+    EXPECT_EQ(Tally.HwPrefetchEvents, S.HwPrefetches);
+    EXPECT_EQ(Tally.EvictEvents[1], M.l1().evictions());
+    EXPECT_EQ(Tally.EvictEvents[2], M.l2().evictions());
+    EXPECT_EQ(Tally.WritebackEvents[1], M.l1().writebacks());
+    EXPECT_EQ(Tally.WritebackEvents[2], M.l2().writebacks());
+
+    // Every simulated cycle is accounted for: access events carry their
+    // stall-inclusive cost, and what remains is exactly tick() busy time
+    // plus software-prefetch issue cost.
+    uint64_t TickCycles = 0;
+    for (const TraceOp &Op : Ops)
+      if (Op.Kind == 3)
+        TickCycles += Op.Addr;
+    EXPECT_EQ(Tally.EventCycles + TickCycles + S.PrefetchIssueCycles,
+              M.now());
+  }
+}
+
+TEST(SimGolden, DetachRestoresFastPath) {
+  // Attach, run, detach, run again: the detached half must keep counting
+  // (through the inline fast path) while delivering no further events.
+  MemoryHierarchy M(HierarchyConfig::ultraSparcE5000());
+  TallyObserver Tally;
+  M.attachObserver(&Tally);
+  EXPECT_EQ(M.observer(), &Tally);
+  std::vector<TraceOp> Ops = pointerChaseTrace();
+  replay(M, Ops);
+  uint64_t Delivered = Tally.Accesses;
+  EXPECT_EQ(Delivered, M.stats().memoryReferences());
+
+  M.attachObserver(nullptr);
+  EXPECT_EQ(M.observer(), nullptr);
+  replay(M, Ops);
+  EXPECT_EQ(Tally.Accesses, Delivered);
+  EXPECT_EQ(M.stats().memoryReferences(), 2 * Delivered);
+}
+
+TEST(SimStats, DeltaAndAccumulateRoundTrip) {
+  // delta(Before, After) isolates one phase of a longer run; += must
+  // reassemble the whole, and every snapshot/delta stays consistent.
+  MemoryHierarchy M(HierarchyConfig::rsimTable1());
+  std::vector<TraceOp> Ops = stridedTrace();
+  std::vector<TraceOp> FirstHalf(Ops.begin(), Ops.begin() + Ops.size() / 2);
+  std::vector<TraceOp> SecondHalf(Ops.begin() + Ops.size() / 2, Ops.end());
+
+  replay(M, FirstHalf);
+  SimStats Phase1 = M.stats();
+  replay(M, SecondHalf);
+  SimStats Whole = M.stats();
+  SimStats Phase2 = SimStats::delta(Phase1, Whole);
+
+  EXPECT_TRUE(Phase1.isConsistent());
+  EXPECT_TRUE(Phase2.isConsistent());
+  EXPECT_TRUE(Whole.isConsistent());
+  EXPECT_GT(Phase2.memoryReferences(), 0u);
+
+  SimStats Sum = Phase1;
+  Sum += Phase2;
+  EXPECT_EQ(Sum.Reads, Whole.Reads);
+  EXPECT_EQ(Sum.Writes, Whole.Writes);
+  EXPECT_EQ(Sum.L1Hits, Whole.L1Hits);
+  EXPECT_EQ(Sum.L1Misses, Whole.L1Misses);
+  EXPECT_EQ(Sum.L2Hits, Whole.L2Hits);
+  EXPECT_EQ(Sum.L2Misses, Whole.L2Misses);
+  EXPECT_EQ(Sum.TlbMisses, Whole.TlbMisses);
+  EXPECT_EQ(Sum.Writebacks, Whole.Writebacks);
+  EXPECT_EQ(Sum.BusyCycles, Whole.BusyCycles);
+  EXPECT_EQ(Sum.L1StallCycles, Whole.L1StallCycles);
+  EXPECT_EQ(Sum.L2StallCycles, Whole.L2StallCycles);
+  EXPECT_EQ(Sum.TlbStallCycles, Whole.TlbStallCycles);
+  EXPECT_EQ(Sum.totalCycles(), Whole.totalCycles());
+
+  // Delta against a default-constructed baseline is the identity.
+  SimStats FromZero = SimStats::delta(SimStats(), Whole);
+  EXPECT_EQ(FromZero.memoryReferences(), Whole.memoryReferences());
+  EXPECT_EQ(FromZero.totalCycles(), Whole.totalCycles());
 }
 
 TEST(SimGolden, ResetReproducesIdenticalStats) {

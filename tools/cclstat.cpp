@@ -1,0 +1,278 @@
+//===- tools/cclstat.cpp - Render telemetry trace dumps -------------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// cclstat: reconstructs a per-structure cache profile from a ccl-trace-v1
+// JSONL dump (as written by TraceSink / `fig5_tree_microbenchmark
+// --trace`), without re-running the simulation.
+//
+//   cclstat trace.jsonl                 # text report
+//   cclstat --json - trace.jsonl        # ccl-profile-v1 JSON to stdout
+//   cclstat --csv profile.csv trace.jsonl
+//   cclstat --chrome trace.chrome.json trace.jsonl   # chrome://tracing
+//
+// Reading from stdin: use "-" as the trace path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Attribution.h"
+#include "obs/Export.h"
+#include "obs/Region.h"
+#include "obs/TraceReader.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace ccl::obs;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] <trace.jsonl | ->\n"
+      "Renders a ccl-trace-v1 JSONL dump (see TraceSink) as a profile.\n"
+      "  --json <path>    write ccl-profile-v1 JSON ('-' = stdout)\n"
+      "  --csv <path>     write the per-region profile as CSV\n"
+      "  --chrome <path>  convert events to Chrome trace format\n"
+      "  --quiet          suppress the text report\n",
+      Prog);
+  return 2;
+}
+
+std::FILE *openOut(const std::string &Path) {
+  if (Path == "-")
+    return stdout;
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    std::fprintf(stderr, "cclstat: cannot open %s for writing\n",
+                 Path.c_str());
+  return Out;
+}
+
+void closeOut(std::FILE *Out) {
+  if (Out && Out != stdout)
+    std::fclose(Out);
+}
+
+/// Streams Chrome trace-event JSON ("X" complete events for accesses on
+/// one timeline row per region; instant events for evictions and
+/// prefetches). Cycle counts are reported as microseconds, so one
+/// trace-viewer microsecond = one simulated cycle.
+class ChromeWriter {
+public:
+  explicit ChromeWriter(std::FILE *Out) : Out(Out) {
+    std::fprintf(Out, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  }
+
+  void nameRow(uint32_t Region, const std::string &Label) {
+    emitComma();
+    std::fprintf(Out,
+                 "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                 "\"tid\":%" PRIu32 ",\"args\":{\"name\":\"%s\"}}",
+                 Region, jsonEscape(Label).c_str());
+  }
+
+  void access(const AccessEvent &E, uint32_t Region) {
+    emitComma();
+    uint64_t Start = E.Now >= E.Cycles ? E.Now - E.Cycles : 0;
+    std::fprintf(Out,
+                 "{\"name\":\"%s\",\"cat\":\"access\",\"ph\":\"X\","
+                 "\"ts\":%" PRIu64 ",\"dur\":%" PRIu32
+                 ",\"pid\":0,\"tid\":%" PRIu32
+                 ",\"args\":{\"va\":%" PRIu64 ",\"pa\":%" PRIu64
+                 ",\"size\":%" PRIu32 ",\"write\":%d,\"tlb_miss\":%d}}",
+                 accessLevelName(E.Level), Start, E.Cycles, Region, E.VAddr,
+                 E.Mapped, E.Size, E.IsWrite ? 1 : 0, E.TlbMiss ? 1 : 0);
+  }
+
+  void evict(const EvictEvent &E) {
+    emitComma();
+    std::fprintf(Out,
+                 "{\"name\":\"evict L%d%s\",\"cat\":\"evict\",\"ph\":\"i\","
+                 "\"s\":\"g\",\"ts\":%" PRIu64 ",\"pid\":0,\"tid\":0,"
+                 "\"args\":{\"pa\":%" PRIu64 "}}",
+                 int(E.Level), E.Writeback ? " (wb)" : "", E.Now,
+                 E.MappedBlockAddr);
+  }
+
+  void prefetch(const PrefetchEvent &E) {
+    emitComma();
+    std::fprintf(Out,
+                 "{\"name\":\"%s prefetch\",\"cat\":\"prefetch\","
+                 "\"ph\":\"i\",\"s\":\"g\",\"ts\":%" PRIu64
+                 ",\"pid\":0,\"tid\":0,\"args\":{\"pa\":%" PRIu64 "}}",
+                 E.Software ? "sw" : "hw", E.Now, E.Mapped);
+  }
+
+  void finish() { std::fprintf(Out, "]}\n"); }
+
+private:
+  void emitComma() {
+    if (!First)
+      std::fprintf(Out, ",");
+    First = false;
+  }
+
+  std::FILE *Out;
+  bool First = true;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string TracePath, JsonPath, CsvPath, ChromePath;
+  bool Quiet = false;
+  for (int I = 1; I < Argc; ++I) {
+    auto takeValue = [&](std::string &Slot) {
+      if (I + 1 >= Argc)
+        return false;
+      Slot = Argv[++I];
+      return true;
+    };
+    if (std::strcmp(Argv[I], "--json") == 0) {
+      if (!takeValue(JsonPath))
+        return usage(Argv[0]);
+    } else if (std::strcmp(Argv[I], "--csv") == 0) {
+      if (!takeValue(CsvPath))
+        return usage(Argv[0]);
+    } else if (std::strcmp(Argv[I], "--chrome") == 0) {
+      if (!takeValue(ChromePath))
+        return usage(Argv[0]);
+    } else if (std::strcmp(Argv[I], "--quiet") == 0) {
+      Quiet = true;
+    } else if (std::strcmp(Argv[I], "--help") == 0 ||
+               std::strcmp(Argv[I], "-h") == 0) {
+      usage(Argv[0]);
+      return 0;
+    } else if (Argv[I][0] == '-' && std::strcmp(Argv[I], "-") != 0) {
+      std::fprintf(stderr, "cclstat: unknown option %s\n", Argv[I]);
+      return usage(Argv[0]);
+    } else if (TracePath.empty()) {
+      TracePath = Argv[I];
+    } else {
+      return usage(Argv[0]);
+    }
+  }
+  if (TracePath.empty())
+    return usage(Argv[0]);
+
+  std::FILE *In =
+      TracePath == "-" ? stdin : std::fopen(TracePath.c_str(), "r");
+  if (!In) {
+    std::fprintf(stderr, "cclstat: cannot open %s\n", TracePath.c_str());
+    return 1;
+  }
+
+  std::FILE *ChromeFile = nullptr;
+  std::unique_ptr<ChromeWriter> Chrome;
+  if (!ChromePath.empty()) {
+    ChromeFile = openOut(ChromePath);
+    if (!ChromeFile)
+      return 1;
+    Chrome = std::make_unique<ChromeWriter>(ChromeFile);
+  }
+
+  // The registry is rebuilt from the dump's region records; trace region
+  // ids are remapped through define() so the sink sees dense local ids.
+  RegionRegistry Registry;
+  std::unique_ptr<AttributionSink> Sink;
+  std::vector<uint32_t> IdMap = {RegionRegistry::Unknown};
+  uint64_t SampleInterval = 1;
+  auto localId = [&](uint32_t TraceId) {
+    return TraceId < IdMap.size() ? IdMap[TraceId] : RegionRegistry::Unknown;
+  };
+  auto ensureSink = [&] {
+    if (!Sink)
+      Sink = std::make_unique<AttributionSink>(Registry,
+                                               AttributionConfig());
+  };
+
+  long Parsed = readTraceFile(In, [&](const TraceRecord &Record) {
+    switch (Record.RecordKind) {
+    case TraceRecord::Kind::Meta:
+      if (!Sink)
+        Sink = std::make_unique<AttributionSink>(Registry, Record.Config);
+      SampleInterval = Record.SampleInterval;
+      break;
+    case TraceRecord::Kind::Region: {
+      uint32_t Local = Registry.define(Record.Region);
+      if (Record.RegionId >= IdMap.size())
+        IdMap.resize(Record.RegionId + 1, RegionRegistry::Unknown);
+      IdMap[Record.RegionId] = Local;
+      if (Chrome) {
+        const RegionInfo &Info = Registry.info(Local);
+        Chrome->nameRow(Local, Info.ColorClass.empty()
+                                   ? Info.Name
+                                   : Info.Name + " [" + Info.ColorClass +
+                                         "]");
+      }
+      break;
+    }
+    case TraceRecord::Kind::Access:
+      ensureSink();
+      Sink->record(Record.Access, localId(Record.RegionId));
+      if (Chrome)
+        Chrome->access(Record.Access, localId(Record.RegionId));
+      break;
+    case TraceRecord::Kind::Evict:
+      ensureSink();
+      Sink->recordEvict(Record.Evict);
+      if (Chrome)
+        Chrome->evict(Record.Evict);
+      break;
+    case TraceRecord::Kind::Prefetch:
+      ensureSink();
+      Sink->onPrefetch(Record.Prefetch);
+      if (Chrome)
+        Chrome->prefetch(Record.Prefetch);
+      break;
+    }
+  });
+  if (In != stdin)
+    std::fclose(In);
+  if (Chrome) {
+    Chrome->finish();
+    closeOut(ChromeFile);
+  }
+  if (Parsed <= 0) {
+    std::fprintf(stderr, "cclstat: no parseable records in %s\n",
+                 TracePath.c_str());
+    return 1;
+  }
+  ensureSink();
+  Sink->finalize();
+
+  if (!Quiet) {
+    std::printf("%s: %ld records", TracePath.c_str(), Parsed);
+    if (SampleInterval > 1)
+      std::printf(" (1-in-%" PRIu64
+                  " sampled; counts reflect sampled events only)",
+                  SampleInterval);
+    std::printf("\n\n");
+    Sink->printReport();
+  }
+  if (!JsonPath.empty()) {
+    if (std::FILE *Out = openOut(JsonPath)) {
+      writeProfileJson(*Sink, Out);
+      closeOut(Out);
+    } else {
+      return 1;
+    }
+  }
+  if (!CsvPath.empty()) {
+    if (std::FILE *Out = openOut(CsvPath)) {
+      writeProfileCsv(*Sink, Out);
+      closeOut(Out);
+    } else {
+      return 1;
+    }
+  }
+  return 0;
+}
