@@ -29,6 +29,29 @@
 
 namespace ccl::bench {
 
+/// Build flavour of *this binary* ("release" when NDEBUG is defined,
+/// "debug" otherwise). Authoritative for perf numbers — unlike
+/// google-benchmark's library_build_type context field, which reports
+/// how the (system) benchmark library was compiled, not the benchmark.
+inline const char *buildType() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// Warns on stderr when a benchmark binary was built without NDEBUG:
+/// debug numbers must never be mistaken for the reference artifacts.
+/// stderr so golden stdout tables stay byte-identical.
+inline void warnIfDebugBuild() {
+#ifndef NDEBUG
+  std::fprintf(stderr,
+               "[bench] WARNING: built without NDEBUG (asserts on) - "
+               "numbers are not comparable to release artifacts\n");
+#endif
+}
+
 /// True if `--full` was passed: run paper-scale inputs.
 inline bool fullScale(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I)
@@ -114,8 +137,9 @@ public:
       return false;
     }
     std::fprintf(Out, "{\"schema\":\"ccl-bench-v1\",\"bench\":\"%s\","
-                      "\"full\":%s,\"results\":[",
-                 escape(Bench).c_str(), Full ? "true" : "false");
+                      "\"full\":%s,\"build_type\":\"%s\",\"results\":[",
+                 escape(Bench).c_str(), Full ? "true" : "false",
+                 buildType());
     for (size_t R = 0; R < Results.size(); ++R) {
       std::fprintf(Out, "%s{", R == 0 ? "" : ",");
       for (size_t F = 0; F < Results[R].size(); ++F)
@@ -171,6 +195,7 @@ private:
 
 inline void printHeader(const char *Title, const char *PaperRef,
                         bool Full) {
+  warnIfDebugBuild();
   std::printf("\n=== %s ===\n", Title);
   std::printf("Reproduces: %s\n", PaperRef);
   std::printf("Scale: %s (pass --full for paper-scale inputs)\n\n",

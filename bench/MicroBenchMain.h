@@ -1,0 +1,72 @@
+//===- bench/MicroBenchMain.h - Shared google-benchmark driver -*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One main() for every google-benchmark microbench binary:
+///
+///  * `--out <path>` / `--out=<path>` / CCL_BENCH_OUT map onto
+///    google-benchmark's JSON reporter (--benchmark_out +
+///    --benchmark_out_format=json) — the same machine-readable channel
+///    the figure benchmarks use;
+///  * a `ccl_build_type` context field records how *this binary* was
+///    compiled. google-benchmark's own library_build_type reflects the
+///    (system) benchmark library, which on Debian reports "debug" even
+///    for optimized binaries, so it cannot gate artifact acceptance;
+///  * a startup warning on stderr when NDEBUG is unset, so debug numbers
+///    never silently become reference artifacts.
+///
+/// Usage: `int main(int Argc, char **Argv) { return
+/// ccl::bench::runMicroBenchmark(Argc, Argv); }` after the BENCHMARK()
+/// registrations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_BENCH_MICROBENCHMAIN_H
+#define CCL_BENCH_MICROBENCHMAIN_H
+
+#include "bench/BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ccl::bench {
+
+inline int runMicroBenchmark(int Argc, char **Argv) {
+  warnIfDebugBuild();
+  std::string OutPath = benchOutPath(Argc, Argv);
+  std::vector<char *> Args;
+  for (int I = 0; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--out") == 0 && I + 1 < Argc) {
+      ++I;
+      continue;
+    }
+    if (std::strncmp(Argv[I], "--out=", 6) == 0)
+      continue;
+    Args.push_back(Argv[I]);
+  }
+  std::string OutFlag, FormatFlag;
+  if (!OutPath.empty()) {
+    OutFlag = "--benchmark_out=" + OutPath;
+    FormatFlag = "--benchmark_out_format=json";
+    Args.push_back(OutFlag.data());
+    Args.push_back(FormatFlag.data());
+  }
+  benchmark::AddCustomContext("ccl_build_type", buildType());
+  int N = int(Args.size());
+  benchmark::Initialize(&N, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(N, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+} // namespace ccl::bench
+
+#endif // CCL_BENCH_MICROBENCHMAIN_H

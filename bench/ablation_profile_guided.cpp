@@ -18,6 +18,7 @@
 #include "bench/BenchCommon.h"
 #include "sim/AccessPolicy.h"
 #include "support/Random.h"
+#include "support/SweepRunner.h"
 #include "support/Zipf.h"
 #include "trees/BinaryTree.h"
 #include "trees/CTree.h"
@@ -80,7 +81,14 @@ int main(int Argc, char **Argv) {
 
   TablePrinter Table({"zipf s", "top-1% mass", "topology-colored",
                       "profile-colored", "profile gain"});
-  for (double Skew : {0.0, 0.6, 0.9, 1.2}) {
+  // One cell per skew level. Each cell builds its own trees, profile,
+  // and simulators, so the sweep runs in parallel; rows are assembled
+  // serially in cell order afterwards (byte-identical table).
+  const std::vector<double> Skews = {0.0, 0.6, 0.9, 1.2};
+  std::vector<std::vector<std::string>> Rows(Skews.size());
+  SweepRunner Runner;
+  Runner.run(Skews.size(), [&](size_t Cell) {
+    double Skew = Skews[Cell];
     ZipfDistribution Zipf(NumKeys, Skew);
 
     // Topology-colored C-tree (the paper's ccmorph).
@@ -91,28 +99,28 @@ int main(int Argc, char **Argv) {
     // Profile run (native, untimed), then profile-guided reorganization.
     CcMorph<BstNode, BstAdapter> Morph(Params);
     CcMorph<BstNode, BstAdapter>::Profile Counts;
-    {
-      sim::NativeAccess NA;
-      Xoshiro256 Rng(0x21BFULL);
-      auto Train = BinarySearchTree::build(NumKeys, LayoutScheme::Random);
-      for (unsigned I = 0; I < ProfileSearches; ++I)
-        bstSearchProfiled(Train.root(), RankedKeys[Zipf(Rng)], NA, Counts);
-      BstNode *Root = Morph.reorganizeProfiled(
-          const_cast<BstNode *>(Train.root()), Counts);
-      uint64_t TopoCycles = steadyCycles(
-          RankedKeys, Zipf, Warmup, Window, Config,
-          [&](uint32_t Key, auto &A) { Topo.search(Key, A); });
-      uint64_t ProfCycles = steadyCycles(
-          RankedKeys, Zipf, Warmup, Window, Config,
-          [&](uint32_t Key, auto &A) { bstSearch(Root, Key, A); });
-      Table.addRow(
-          {TablePrinter::fmt(Skew, 1),
-           TablePrinter::fmt(100.0 * Zipf.topMass(NumKeys / 100), 1) + "%",
-           TablePrinter::fmt(double(TopoCycles) / Window, 1),
-           TablePrinter::fmt(double(ProfCycles) / Window, 1),
-           bench::speedupStr(double(TopoCycles), double(ProfCycles))});
-    }
-  }
+    sim::NativeAccess NA;
+    Xoshiro256 Rng(0x21BFULL);
+    auto Train = BinarySearchTree::build(NumKeys, LayoutScheme::Random);
+    for (unsigned I = 0; I < ProfileSearches; ++I)
+      bstSearchProfiled(Train.root(), RankedKeys[Zipf(Rng)], NA, Counts);
+    BstNode *Root = Morph.reorganizeProfiled(
+        const_cast<BstNode *>(Train.root()), Counts);
+    uint64_t TopoCycles = steadyCycles(
+        RankedKeys, Zipf, Warmup, Window, Config,
+        [&](uint32_t Key, auto &A) { Topo.search(Key, A); });
+    uint64_t ProfCycles = steadyCycles(
+        RankedKeys, Zipf, Warmup, Window, Config,
+        [&](uint32_t Key, auto &A) { bstSearch(Root, Key, A); });
+    Rows[Cell] =
+        {TablePrinter::fmt(Skew, 1),
+         TablePrinter::fmt(100.0 * Zipf.topMass(NumKeys / 100), 1) + "%",
+         TablePrinter::fmt(double(TopoCycles) / Window, 1),
+         TablePrinter::fmt(double(ProfCycles) / Window, 1),
+         bench::speedupStr(double(TopoCycles), double(ProfCycles))};
+  });
+  for (const auto &Row : Rows)
+    Table.addRow(Row);
   Table.print();
   std::printf("\nShape to check: at s=0 (uniform) topology-based coloring "
               "is already optimal (the hot set IS the\ntop of the tree); "

@@ -8,16 +8,20 @@
 // that "a heap allocator is invoked many more times than a data
 // reorganizer, so it must use techniques that incur low overhead." This
 // binary measures the native cost of the plain path, the three ccmalloc
-// strategies, deallocation, and a ccmorph pass per node.
+// strategies, deallocation, free-list churn, and hint-pressure search.
+// `--out <path>` emits google-benchmark JSON (the committed reference is
+// BENCH_allocator_throughput.json). The companion reorganizer bench is
+// micro_morph_throughput.
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/MicroBenchMain.h"
 #include "core/CcAllocator.h"
-#include "core/CcMorph.h"
-#include "trees/BinaryTree.h"
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 using namespace ccl;
@@ -71,6 +75,33 @@ BENCHMARK(BM_CcMallocNear<heap::CcStrategy::NewBlock>)
 BENCHMARK(BM_CcMallocNear<heap::CcStrategy::FirstFit>)
     ->Name("BM_CcMallocNear/first-fit");
 
+// Near-allocation against a *fixed* hint whose page steadily fills:
+// every call runs the strategy's block search over an increasingly
+// occupied page — the worst case the bitmaps exist for.
+template <heap::CcStrategy Strategy>
+void BM_CcMallocNearPressure(benchmark::State &State) {
+  CcAllocator Alloc(CacheParams(), Strategy);
+  std::vector<void *> Ptrs;
+  Ptrs.reserve(1 << 12);
+  void *Hint = Alloc.ccmalloc(24);
+  for (auto _ : State) {
+    void *P = Alloc.ccmalloc(24, Hint);
+    benchmark::DoNotOptimize(P);
+    Ptrs.push_back(P);
+    if (Ptrs.size() == (1 << 12)) {
+      State.PauseTiming();
+      for (void *Q : Ptrs)
+        Alloc.ccfree(Q);
+      Ptrs.clear();
+      State.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_CcMallocNearPressure<heap::CcStrategy::Closest>)
+    ->Name("BM_CcMallocNearPressure/closest");
+BENCHMARK(BM_CcMallocNearPressure<heap::CcStrategy::FirstFit>)
+    ->Name("BM_CcMallocNearPressure/first-fit");
+
 void BM_AllocFreePair(benchmark::State &State) {
   CcAllocator Alloc;
   for (auto _ : State) {
@@ -81,6 +112,30 @@ void BM_AllocFreePair(benchmark::State &State) {
 }
 BENCHMARK(BM_AllocFreePair);
 
+// Steady-state churn: a window of live chunks of mixed sizes with a
+// deterministic replacement pattern. Exercises the free-list recycle
+// path and block reclamation together (the size-class bins' hot loop).
+void BM_AllocFreeChurn(benchmark::State &State) {
+  constexpr size_t Window = 1 << 12;
+  constexpr size_t Sizes[] = {16, 24, 40, 56};
+  CcAllocator Alloc;
+  std::vector<void *> Live(Window, nullptr);
+  for (size_t I = 0; I < Window; ++I)
+    Live[I] = Alloc.ccmalloc(Sizes[I % 4]);
+  uint64_t Cursor = 0;
+  for (auto _ : State) {
+    // Multiplicative stride walks the window in a scattered order.
+    size_t Slot = size_t((Cursor * 2654435761ULL) % Window);
+    ++Cursor;
+    Alloc.ccfree(Live[Slot]);
+    Live[Slot] = Alloc.ccmalloc(Sizes[Slot % 4]);
+    benchmark::DoNotOptimize(Live[Slot]);
+  }
+  for (void *P : Live)
+    Alloc.ccfree(P);
+}
+BENCHMARK(BM_AllocFreeChurn);
+
 void BM_SystemMallocBaseline(benchmark::State &State) {
   for (auto _ : State) {
     void *P = std::malloc(40);
@@ -90,19 +145,8 @@ void BM_SystemMallocBaseline(benchmark::State &State) {
 }
 BENCHMARK(BM_SystemMallocBaseline);
 
-/// Cost of one full ccmorph reorganization, reported per node.
-void BM_CcMorphPerNode(benchmark::State &State) {
-  const uint64_t N = uint64_t(State.range(0));
-  auto Tree = trees::BinarySearchTree::build(N, LayoutScheme::Random);
-  CacheParams Params;
-  for (auto _ : State) {
-    CcMorph<trees::BstNode, trees::BstAdapter> Morph(Params);
-    benchmark::DoNotOptimize(Morph.reorganize(Tree.root()));
-  }
-  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(N));
-}
-BENCHMARK(BM_CcMorphPerNode)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
-
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int Argc, char **Argv) {
+  return ccl::bench::runMicroBenchmark(Argc, Argv);
+}

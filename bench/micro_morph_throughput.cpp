@@ -1,0 +1,138 @@
+//===- bench/micro_morph_throughput.cpp - Reorganizer microbench -------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks for ccmorph: wall-clock cost of one
+// reorganization, reported per node. The paper positions ccmorph as
+// "periodically invoked" (§3.1.1), so reorganization throughput bounds
+// how often a program can afford to re-layout — and the morph pass also
+// dominates fig5/fig7 table construction in this repo. Covers the four
+// layout schemes, forest (chained hash table) reorganization,
+// profile-guided coloring, and reuse of one CcMorph object (the
+// persistent-scratch fast path). `--out <path>` emits google-benchmark
+// JSON alongside BENCH_allocator_throughput.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/MicroBenchMain.h"
+#include "core/CcMorph.h"
+#include "sim/AccessPolicy.h"
+#include "trees/BinaryTree.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+using namespace ccl;
+
+namespace {
+
+/// Cost of one full ccmorph reorganization, reported per node. Fresh
+/// CcMorph each iteration (cold scratch buffers) — the name and args
+/// match the bench that used to live in micro_allocator_throughput, so
+/// perf trajectories stay comparable across that move.
+void BM_CcMorphPerNode(benchmark::State &State) {
+  const uint64_t N = uint64_t(State.range(0));
+  auto Tree = trees::BinarySearchTree::build(N, LayoutScheme::Random);
+  CacheParams Params;
+  for (auto _ : State) {
+    CcMorph<trees::BstNode, trees::BstAdapter> Morph(Params);
+    benchmark::DoNotOptimize(Morph.reorganize(Tree.root()));
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(N));
+}
+BENCHMARK(BM_CcMorphPerNode)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+/// Same reorganization through one persistent CcMorph: the remap table
+/// and traversal scratch keep their capacity across calls, which is the
+/// intended "periodically invoked" usage.
+void BM_CcMorphPerNodeReused(benchmark::State &State) {
+  const uint64_t N = uint64_t(State.range(0));
+  auto Tree = trees::BinarySearchTree::build(N, LayoutScheme::Random);
+  CcMorph<trees::BstNode, trees::BstAdapter> Morph{CacheParams()};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Morph.reorganize(Tree.root()));
+  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(N));
+}
+BENCHMARK(BM_CcMorphPerNodeReused)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+/// One scheme per run: subtree clustering (the paper's technique) vs the
+/// comparison layouts. Clustering cost, not search benefit.
+void runScheme(benchmark::State &State, LayoutScheme Scheme) {
+  const uint64_t N = 1 << 14;
+  auto Tree = trees::BinarySearchTree::build(N, LayoutScheme::Random);
+  CcMorph<trees::BstNode, trees::BstAdapter> Morph{CacheParams()};
+  MorphOptions Options;
+  Options.Scheme = Scheme;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Morph.reorganize(Tree.root(), Options));
+  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(N));
+  State.SetLabel(layoutSchemeName(Scheme));
+}
+void BM_CcMorphScheme_Subtree(benchmark::State &State) {
+  runScheme(State, LayoutScheme::Subtree);
+}
+void BM_CcMorphScheme_DepthFirst(benchmark::State &State) {
+  runScheme(State, LayoutScheme::DepthFirst);
+}
+void BM_CcMorphScheme_Bfs(benchmark::State &State) {
+  runScheme(State, LayoutScheme::Bfs);
+}
+void BM_CcMorphScheme_Random(benchmark::State &State) {
+  runScheme(State, LayoutScheme::Random);
+}
+BENCHMARK(BM_CcMorphScheme_Subtree)->Name("BM_CcMorphScheme/subtree");
+BENCHMARK(BM_CcMorphScheme_DepthFirst)->Name("BM_CcMorphScheme/depth-first");
+BENCHMARK(BM_CcMorphScheme_Bfs)->Name("BM_CcMorphScheme/bfs");
+BENCHMARK(BM_CcMorphScheme_Random)->Name("BM_CcMorphScheme/random");
+
+/// Forest reorganization: many small chains into one shared arena, the
+/// chained-hash-table shape (§3.1.1's "lists are unary trees").
+void BM_CcMorphForest(benchmark::State &State) {
+  const uint64_t Chains = uint64_t(State.range(0));
+  const uint64_t NodesPerChain = 12;
+  std::vector<trees::BinarySearchTree> Trees;
+  std::vector<trees::BstNode *> Roots;
+  Trees.reserve(Chains);
+  Roots.reserve(Chains);
+  for (uint64_t C = 0; C < Chains; ++C) {
+    Trees.push_back(trees::BinarySearchTree::build(
+        NodesPerChain, LayoutScheme::Random, 0x5eedULL + C));
+    Roots.push_back(const_cast<trees::BstNode *>(Trees.back().root()));
+  }
+  CcMorph<trees::BstNode, trees::BstAdapter> Morph{CacheParams()};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Morph.reorganizeForest(Roots));
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(Chains * NodesPerChain));
+}
+BENCHMARK(BM_CcMorphForest)->Arg(1 << 8)->Arg(1 << 11);
+
+/// Profile-guided reorganization: the per-cluster heat ranking plus the
+/// per-node profile probes on top of the plain morph pass.
+void BM_CcMorphProfiled(benchmark::State &State) {
+  const uint64_t N = 1 << 14;
+  auto Tree = trees::BinarySearchTree::build(N, LayoutScheme::Random);
+  CcMorph<trees::BstNode, trees::BstAdapter> Morph{CacheParams()};
+  CcMorph<trees::BstNode, trees::BstAdapter>::Profile Counts;
+  // Skewed synthetic profile: nodes near the root are hottest.
+  sim::NativeAccess A;
+  for (uint64_t I = 1; I <= N; I += 7)
+    trees::bstSearchProfiled(Tree.root(),
+                             trees::BinarySearchTree::keyAt(I % N), A,
+                             Counts);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Morph.reorganizeProfiled(
+        const_cast<trees::BstNode *>(Tree.root()), Counts));
+  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(N));
+}
+BENCHMARK(BM_CcMorphProfiled);
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  return ccl::bench::runMicroBenchmark(Argc, Argv);
+}

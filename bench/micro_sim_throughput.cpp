@@ -13,7 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "bench/BenchCommon.h"
+#include "bench/MicroBenchMain.h"
 #include "sim/MemoryHierarchy.h"
 
 #include <benchmark/benchmark.h>
@@ -159,33 +159,8 @@ BENCHMARK(SimPointerChaseObserved)->Arg(0)->Arg(1);
 
 } // namespace
 
-// Custom main so `--out <path>` / CCL_BENCH_OUT map onto google-
-// benchmark's JSON reporter (--benchmark_out) — the same machine-
-// readable channel the figure benchmarks use.
+// Shared driver: `--out` -> google-benchmark JSON, ccl_build_type
+// context, debug-build warning.
 int main(int Argc, char **Argv) {
-  std::string OutPath = ccl::bench::benchOutPath(Argc, Argv);
-  std::vector<char *> Args;
-  for (int I = 0; I < Argc; ++I) {
-    if (std::strcmp(Argv[I], "--out") == 0 && I + 1 < Argc) {
-      ++I;
-      continue;
-    }
-    if (std::strncmp(Argv[I], "--out=", 6) == 0)
-      continue;
-    Args.push_back(Argv[I]);
-  }
-  std::string OutFlag, FormatFlag;
-  if (!OutPath.empty()) {
-    OutFlag = "--benchmark_out=" + OutPath;
-    FormatFlag = "--benchmark_out_format=json";
-    Args.push_back(OutFlag.data());
-    Args.push_back(FormatFlag.data());
-  }
-  int N = int(Args.size());
-  benchmark::Initialize(&N, Args.data());
-  if (benchmark::ReportUnrecognizedArguments(N, Args.data()))
-    return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return ccl::bench::runMicroBenchmark(Argc, Argv);
 }

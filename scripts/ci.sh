@@ -38,16 +38,27 @@ CCL_SWEEP_THREADS=4 run_preset tsan
 # Machine-readable benchmark artifacts (schema ccl-bench-v1 /
 # google-benchmark JSON), opt-in because the figure benches add minutes:
 #   CCL_BENCH_ARTIFACTS=1 scripts/ci.sh
-# Artifacts land in artifacts/ (override with CCL_BENCH_DIR).
+# Artifacts land in artifacts/ (override with CCL_BENCH_DIR). Built from
+# the "bench" preset (Release with NDEBUG, asserts off): reference perf
+# numbers must never come from an asserts-on build — BenchCommon warns
+# and stamps build_type/ccl_build_type so debug artifacts are visible.
 if [[ "${CCL_BENCH_ARTIFACTS:-0}" == "1" ]]; then
+  echo "=== [bench] configure ==="
+  cmake --preset bench
+  echo "=== [bench] build ==="
+  cmake --build --preset bench -j "$JOBS"
   ART="${CCL_BENCH_DIR:-artifacts}"
   mkdir -p "$ART"
   echo "=== bench artifacts -> $ART ==="
-  build-release/bench/micro_sim_throughput \
+  build-bench/bench/micro_sim_throughput \
     --out "$ART/BENCH_sim_throughput.json"
-  build-release/bench/fig5_tree_microbenchmark \
+  build-bench/bench/micro_allocator_throughput \
+    --out "$ART/BENCH_allocator_throughput.json"
+  build-bench/bench/micro_morph_throughput \
+    --out "$ART/BENCH_morph_throughput.json"
+  build-bench/bench/fig5_tree_microbenchmark \
     --out "$ART/BENCH_fig5.json"
-  build-release/bench/fig7_olden --out "$ART/BENCH_fig7.json"
+  build-bench/bench/fig7_olden --out "$ART/BENCH_fig7.json"
 fi
 
 echo "=== CI OK ==="

@@ -34,20 +34,31 @@
 /// guarantees the move is safe. Lists are unary trees; chained hash
 /// tables are forests (use reorganizeForest).
 ///
+/// Hot-path layout: a reorganization is one structure traversal (cluster
+/// formation over flat, index-cursor work queues — no deques), one copy
+/// pass, and one linear fixup sweep. The traversal already knows every
+/// (parent, slot, child) edge and the placement index each node will
+/// get, so forwarding is a flat edge list indexed into the new-node
+/// array — the fixup performs no address lookups at all (the old
+/// old->new hash map survives only as a debug-build DAG check). The
+/// scratch buffers keep their capacity across calls, so the paper's
+/// "periodically invoked" usage does not re-pay allocation churn. The
+/// source structure is never written (concurrent morphs may share one
+/// source).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCL_CORE_CCMORPH_H
 #define CCL_CORE_CCMORPH_H
 
 #include "core/ColoredArena.h"
+#include "support/FlatMap.h"
 #include "support/Random.h"
 
 #include <algorithm>
 #include <cstring>
-#include <deque>
 #include <memory>
 #include <type_traits>
-#include <unordered_map>
 #include <vector>
 
 namespace ccl {
@@ -129,7 +140,8 @@ public:
 
   /// An access profile: per-node touch counts gathered by the program
   /// (the paper's §7 future work — profiling instead of topology).
-  using Profile = std::unordered_map<const Node *, uint64_t>;
+  /// Open-addressing (support/FlatMap.h), keyed by node address.
+  using Profile = PtrCountMap;
 
   /// Profile-guided reorganization: clusters are still formed from the
   /// structure's topology, but hot-region capacity goes to the clusters
@@ -164,25 +176,36 @@ public:
                                // contiguous placement, no gaps.
     auto Fresh = std::make_unique<ColoredArena>(ArenaParams);
 
-    std::vector<std::vector<Node *>> Clusters = formClusters(Roots, Options);
-    Stats.ClusterCount = Clusters.size();
+    // One traversal: clusters land flat in ClusterNodes, delimited by
+    // ClusterEnds (exclusive end offsets), hot-assignment order. The
+    // traversal also records every parent/child edge and each forest
+    // root's placement index, so no later pass needs to look anything up.
+    ClusterNodes.clear();
+    ClusterEnds.clear();
+    Edges.clear();
+    RootPositions.clear();
+    formClusters(Roots, Options);
+    size_t NumClusters = ClusterEnds.size();
+    Stats.ClusterCount = NumClusters;
+    auto clusterBegin = [this](size_t I) {
+      return I == 0 ? size_t(0) : ClusterEnds[I - 1];
+    };
 
     // Decide which clusters are hot. Default: discovery order (nearest
     // the roots first). Profiled: rank clusters by measured accesses per
     // byte and grant the budget to the heaviest ones.
     uint64_t HotBudget = Options.Color ? Params.hotCapacityBytes() : 0;
-    std::vector<bool> HotFlag(Clusters.size(), false);
+    std::vector<bool> HotFlag(NumClusters, false);
     if (Counts && Options.Color) {
       std::vector<std::pair<double, size_t>> Ranked;
-      Ranked.reserve(Clusters.size());
-      for (size_t I = 0; I < Clusters.size(); ++I) {
+      Ranked.reserve(NumClusters);
+      for (size_t I = 0; I < NumClusters; ++I) {
         uint64_t Weight = 0;
-        for (const Node *N : Clusters[I]) {
-          auto It = Counts->find(N);
-          if (It != Counts->end())
-            Weight += It->second;
-        }
-        Ranked.push_back({double(Weight) / double(Clusters[I].size()), I});
+        size_t Size = ClusterEnds[I] - clusterBegin(I);
+        for (size_t At = clusterBegin(I); At < ClusterEnds[I]; ++At)
+          if (const uint64_t *Count = Counts->find(ClusterNodes[At]))
+            Weight += *Count;
+        Ranked.push_back({double(Weight) / double(Size), I});
       }
       std::sort(Ranked.begin(), Ranked.end(),
                 [](const auto &A, const auto &B) {
@@ -191,8 +214,9 @@ public:
                 });
       uint64_t Budget = HotBudget;
       for (const auto &[Weight, Index] : Ranked) {
-        uint64_t Footprint = alignUp(
-            Clusters[Index].size() * sizeof(Node), Params.BlockBytes);
+        uint64_t Footprint =
+            alignUp((ClusterEnds[Index] - clusterBegin(Index)) * sizeof(Node),
+                    Params.BlockBytes);
         if (Weight <= 0.0 || Budget < Footprint)
           continue;
         Budget -= Footprint;
@@ -200,12 +224,20 @@ public:
       }
     }
 
-    std::unordered_map<const Node *, Node *> Remap;
+    // Copy pass: place each cluster and collect the new nodes in
+    // placement order. NewNodes[I] is the copy of ClusterNodes[I], so
+    // the traversal's recorded edges forward by index.
+#ifndef NDEBUG
+    Remap.clear();
     Remap.reserve(Stats.NodeCount);
+#endif
+    NewNodes.clear();
+    NewNodes.reserve(ClusterNodes.size());
 
-    for (size_t ClusterIdx = 0; ClusterIdx < Clusters.size(); ++ClusterIdx) {
-      const auto &Cluster = Clusters[ClusterIdx];
-      size_t Bytes = Cluster.size() * sizeof(Node);
+    for (size_t ClusterIdx = 0; ClusterIdx < NumClusters; ++ClusterIdx) {
+      size_t Begin = clusterBegin(ClusterIdx);
+      size_t Size = ClusterEnds[ClusterIdx] - Begin;
+      size_t Bytes = Size * sizeof(Node);
       // Budget by the block-aligned footprint: a cluster occupies a whole
       // block in the hot region regardless of slack.
       uint64_t Footprint = alignUp(Bytes, Params.BlockBytes);
@@ -222,51 +254,53 @@ public:
         Memory = static_cast<char *>(
             Fresh->allocateHot(Bytes, alignof(Node), Params.BlockBytes));
         HotBudget -= Footprint;
-        Stats.HotNodes += Cluster.size();
+        Stats.HotNodes += Size;
       } else {
         Memory = static_cast<char *>(
             Fresh->allocateCold(Bytes, alignof(Node), Params.BlockBytes));
-        Stats.ColdNodes += Cluster.size();
+        Stats.ColdNodes += Size;
       }
-      for (size_t I = 0; I < Cluster.size(); ++I) {
+      for (size_t I = 0; I < Size; ++I) {
+        size_t At = Begin + I;
+        // The sources are scattered (that is why ccmorph exists); pull
+        // them in ahead of the copy.
+        if (At + CopyPrefetchDist < ClusterNodes.size())
+          __builtin_prefetch(ClusterNodes[At + CopyPrefetchDist]);
         Node *NewNode = reinterpret_cast<Node *>(Memory + I * sizeof(Node));
+        const Node *Old = ClusterNodes[At];
         std::memcpy(static_cast<void *>(NewNode),
-                    static_cast<const void *>(Cluster[I]), sizeof(Node));
-        bool Inserted = Remap.emplace(Cluster[I], NewNode).second;
+                    static_cast<const void *>(Old), sizeof(Node));
+#ifndef NDEBUG
+        bool Inserted = Remap.tryInsert(reinterpret_cast<uint64_t>(Old),
+                                        reinterpret_cast<uint64_t>(NewNode));
         assert(Inserted && "node reachable twice: ccmorph requires a tree, "
                            "not a DAG (paper §3.1.1)");
         (void)Inserted;
+#endif
+        NewNodes.push_back(NewNode);
       }
     }
 
-    // Second pass: rewrite child (and optionally parent) pointers. The
-    // new node's pointer fields still hold old addresses from the copy.
-    for (const auto &[Old, NewNode] : Remap) {
-      (void)Old;
-      for (unsigned I = 0; I < Adapter::MaxKids; ++I) {
-        Node *Kid = A.getKid(NewNode, I);
-        if (!Kid)
-          continue;
-        auto It = Remap.find(Kid);
-        assert(It != Remap.end() && "child outside the traversed forest");
-        A.setKid(NewNode, I, It->second);
-      }
-      if constexpr (Adapter::HasParent) {
-        if (Options.UpdateParents) {
-          Node *Parent = A.getParent(NewNode);
-          if (Parent) {
-            auto It = Remap.find(Parent);
-            assert(It != Remap.end() && "parent outside the forest");
-            A.setParent(NewNode, It->second);
-          }
-        }
-      }
+    // Fixup sweep: rewrite child (and optionally parent) pointers. Every
+    // recorded edge names the parent's and child's placement indices, so
+    // the sweep is one linear walk over a flat array — no per-edge
+    // address lookup. Null kid slots keep the null copied from the
+    // source.
+    for (const Edge &E : Edges) {
+      Node *Parent = NewNodes[E.Parent];
+      Node *Kid = NewNodes[E.Kid];
+      A.setKid(Parent, E.Slot, Kid);
+      if constexpr (Adapter::HasParent)
+        if (Options.UpdateParents)
+          A.setParent(Kid, Parent);
     }
 
     std::vector<Node *> NewRoots;
     NewRoots.reserve(Roots.size());
+    size_t RootCursor = 0;
     for (Node *Root : Roots)
-      NewRoots.push_back(Root ? Remap.at(Root) : nullptr);
+      NewRoots.push_back(Root ? NewNodes[RootPositions[RootCursor++]]
+                              : nullptr);
 
     Current = std::move(Fresh);
     Stats.ArenaFrames = Current->framesAllocated();
@@ -278,114 +312,183 @@ public:
   const CacheParams &params() const { return Params; }
 
 private:
+  /// A pending traversal item: the node plus the placement index of the
+  /// parent that queued it (NoParent for forest roots) and the kid slot
+  /// it occupies there.
+  struct WorkItem {
+    Node *N;
+    uint32_t ParentIdx;
+    uint32_t Slot;
+  };
+  /// One discovered edge: ClusterNodes[Parent]'s kid \p Slot is
+  /// ClusterNodes[Kid]. Indices double as NewNodes indices, which is
+  /// what makes the fixup sweep lookup-free.
+  struct Edge {
+    uint32_t Parent;
+    uint32_t Kid;
+    uint32_t Slot;
+  };
+  static constexpr uint32_t NoParent = ~uint32_t(0);
+  /// How far ahead the copy pass pulls scattered source nodes.
+  static constexpr size_t CopyPrefetchDist = 8;
+  /// How many clusters ahead the subtree traversal pulls cluster roots.
+  static constexpr size_t RootPrefetchDist = 6;
+
   /// Groups the forest's nodes into clusters of at most NodesPerBlock,
-  /// ordered root-outward so early clusters are the hot ones.
-  std::vector<std::vector<Node *>>
-  formClusters(const std::vector<Node *> &Roots,
-               const MorphOptions &Options) {
-    std::vector<std::vector<Node *>> Clusters;
+  /// ordered root-outward so early clusters are the hot ones. Results
+  /// land in ClusterNodes/ClusterEnds.
+  void formClusters(const std::vector<Node *> &Roots,
+                    const MorphOptions &Options) {
     switch (Options.Scheme) {
     case LayoutScheme::Subtree:
-      formSubtreeClusters(Roots, Stats.NodesPerBlock, Clusters);
+      formSubtreeClusters(Roots, Stats.NodesPerBlock);
       break;
-    case LayoutScheme::DepthFirst: {
-      std::vector<Node *> Order;
+    case LayoutScheme::DepthFirst:
       for (Node *Root : Roots)
-        depthFirstOrder(Root, Order);
-      chunk(Order, Stats.NodesPerBlock, Clusters);
+        depthFirstOrder(Root);
+      chunk(Stats.NodesPerBlock);
       break;
-    }
-    case LayoutScheme::Bfs: {
-      std::vector<Node *> Order;
+    case LayoutScheme::Bfs:
       for (Node *Root : Roots)
-        breadthFirstOrder(Root, Order);
-      chunk(Order, Stats.NodesPerBlock, Clusters);
+        breadthFirstOrder(Root);
+      chunk(Stats.NodesPerBlock);
       break;
-    }
     case LayoutScheme::Random: {
-      std::vector<Node *> Order;
       for (Node *Root : Roots)
-        breadthFirstOrder(Root, Order);
+        breadthFirstOrder(Root);
+      // Shuffle an index vector, not the nodes: the Fisher-Yates swap
+      // sequence depends only on the seed and the length, so the node
+      // permutation is identical to shuffling ClusterNodes directly,
+      // and the inverse permutation lets the recorded edges and root
+      // positions follow their nodes to the shuffled slots.
+      size_t N = ClusterNodes.size();
       Xoshiro256 Rng(Options.Seed);
-      Rng.shuffle(Order);
-      chunk(Order, Stats.NodesPerBlock, Clusters);
+      IndexBuf.resize(N);
+      for (size_t I = 0; I < N; ++I)
+        IndexBuf[I] = static_cast<uint32_t>(I);
+      Rng.shuffle(IndexBuf);
+      PermBuf.resize(N);
+      InvBuf.resize(N);
+      for (size_t I = 0; I < N; ++I) {
+        PermBuf[I] = ClusterNodes[IndexBuf[I]];
+        InvBuf[IndexBuf[I]] = static_cast<uint32_t>(I);
+      }
+      ClusterNodes.swap(PermBuf);
+      for (Edge &E : Edges) {
+        E.Parent = InvBuf[E.Parent];
+        E.Kid = InvBuf[E.Kid];
+      }
+      for (uint32_t &Pos : RootPositions)
+        Pos = InvBuf[Pos];
+      chunk(Stats.NodesPerBlock);
       break;
     }
     }
-    return Clusters;
   }
 
   /// Subtree clustering (§2.1, Figure 1): each cluster root absorbs its
   /// subtree in breadth-first order until the cluster holds K nodes; the
   /// children that did not fit become roots of subsequent clusters.
   /// Clusters themselves are discovered breadth-first from the tree root
-  /// so hot-region assignment follows root distance.
-  void formSubtreeClusters(const std::vector<Node *> &Roots, size_t K,
-                           std::vector<std::vector<Node *>> &Clusters) {
-    std::deque<Node *> ClusterRoots;
+  /// so hot-region assignment follows root distance. Both work queues
+  /// are flat vectors drained by a head cursor (FIFO without deque
+  /// segment churn); the scratch buffers persist across reorganizations.
+  void formSubtreeClusters(const std::vector<Node *> &Roots, size_t K) {
+    ClusterRootsBuf.clear();
     for (Node *Root : Roots)
       if (Root)
-        ClusterRoots.push_back(Root);
+        ClusterRootsBuf.push_back({Root, NoParent, 0});
 
-    while (!ClusterRoots.empty()) {
-      Node *Top = ClusterRoots.front();
-      ClusterRoots.pop_front();
+    size_t Head = 0;
+    while (Head < ClusterRootsBuf.size()) {
+      WorkItem Top = ClusterRootsBuf[Head++];
+      // Clusters are small (a block's worth), so the cluster-root queue
+      // is the traversal's real FIFO; distance 1 cannot hide a DRAM
+      // fetch behind one cluster's work.
+      if (Head + RootPrefetchDist < ClusterRootsBuf.size())
+        __builtin_prefetch(ClusterRootsBuf[Head + RootPrefetchDist].N);
 
-      std::vector<Node *> Cluster;
-      Cluster.reserve(K);
-      std::deque<Node *> Frontier{Top};
-      while (!Frontier.empty() && Cluster.size() < K) {
-        Node *N = Frontier.front();
-        Frontier.pop_front();
-        Cluster.push_back(N);
-        ++Stats.NodeCount;
+      // BFS from Top: FrontierBuf[0, Taken) is the cluster, the
+      // remainder seeds later clusters.
+      FrontierBuf.clear();
+      FrontierBuf.push_back(Top);
+      size_t Taken = 0;
+      while (Taken < FrontierBuf.size() && Taken < K) {
+        WorkItem Item = FrontierBuf[Taken++];
+        if (Taken + 3 < FrontierBuf.size())
+          __builtin_prefetch(FrontierBuf[Taken + 3].N);
+        uint32_t At = emit(Item);
         for (unsigned I = 0; I < Adapter::MaxKids; ++I)
-          if (Node *Kid = A.getKid(N, I))
-            Frontier.push_back(Kid);
+          if (Node *Kid = A.getKid(Item.N, I)) {
+            // Pull the kid in now: it is visited within this cluster a
+            // couple of iterations from here, or shortly after as one
+            // of the next cluster roots.
+            __builtin_prefetch(Kid);
+            FrontierBuf.push_back({Kid, At, I});
+          }
       }
       // Whatever is left on the frontier starts new clusters.
-      for (Node *Kid : Frontier)
-        ClusterRoots.push_back(Kid);
-      Clusters.push_back(std::move(Cluster));
+      ClusterRootsBuf.insert(ClusterRootsBuf.end(),
+                             FrontierBuf.begin() + ptrdiff_t(Taken),
+                             FrontierBuf.end());
+      ClusterEnds.push_back(ClusterNodes.size());
     }
   }
 
-  void depthFirstOrder(Node *Root, std::vector<Node *> &Order) {
+  void depthFirstOrder(Node *Root) {
     if (!Root)
       return;
-    std::vector<Node *> Stack{Root};
+    std::vector<WorkItem> &Stack = FrontierBuf;
+    Stack.clear();
+    Stack.push_back({Root, NoParent, 0});
     while (!Stack.empty()) {
-      Node *N = Stack.back();
+      WorkItem Item = Stack.back();
       Stack.pop_back();
-      Order.push_back(N);
-      ++Stats.NodeCount;
+      uint32_t At = emit(Item);
       // Push kids in reverse so kid 0 is visited first (preorder).
       for (unsigned I = Adapter::MaxKids; I > 0; --I)
-        if (Node *Kid = A.getKid(N, I - 1))
-          Stack.push_back(Kid);
+        if (Node *Kid = A.getKid(Item.N, I - 1))
+          Stack.push_back({Kid, At, I - 1});
     }
   }
 
-  void breadthFirstOrder(Node *Root, std::vector<Node *> &Order) {
+  /// BFS over an index-cursor FIFO; emits into ClusterNodes.
+  void breadthFirstOrder(Node *Root) {
     if (!Root)
       return;
-    std::deque<Node *> Queue{Root};
-    while (!Queue.empty()) {
-      Node *N = Queue.front();
-      Queue.pop_front();
-      Order.push_back(N);
-      ++Stats.NodeCount;
+    FrontierBuf.clear();
+    FrontierBuf.push_back({Root, NoParent, 0});
+    size_t Head = 0;
+    while (Head < FrontierBuf.size()) {
+      WorkItem Item = FrontierBuf[Head++];
+      if (Head + 3 < FrontierBuf.size())
+        __builtin_prefetch(FrontierBuf[Head + 3].N);
+      uint32_t At = emit(Item);
       for (unsigned I = 0; I < Adapter::MaxKids; ++I)
-        if (Node *Kid = A.getKid(N, I))
-          Queue.push_back(Kid);
+        if (Node *Kid = A.getKid(Item.N, I))
+          FrontierBuf.push_back({Kid, At, I});
     }
   }
 
-  static void chunk(const std::vector<Node *> &Order, size_t K,
-                    std::vector<std::vector<Node *>> &Clusters) {
-    for (size_t Begin = 0; Begin < Order.size(); Begin += K) {
-      size_t End = std::min(Begin + K, Order.size());
-      Clusters.emplace_back(Order.begin() + Begin, Order.begin() + End);
+  /// Appends \p Item's node to ClusterNodes, recording the edge that
+  /// led to it (or its position, for forest roots). The returned index
+  /// also names the node's slot in NewNodes after the copy pass.
+  uint32_t emit(const WorkItem &Item) {
+    uint32_t At = static_cast<uint32_t>(ClusterNodes.size());
+    ClusterNodes.push_back(Item.N);
+    ++Stats.NodeCount;
+    if (Item.ParentIdx == NoParent)
+      RootPositions.push_back(At);
+    else
+      Edges.push_back({Item.ParentIdx, At, Item.Slot});
+    return At;
+  }
+
+  /// Delimits ClusterNodes into consecutive clusters of K.
+  void chunk(size_t K) {
+    for (size_t End = 0; End < ClusterNodes.size();) {
+      End = std::min(End + K, ClusterNodes.size());
+      ClusterEnds.push_back(End);
     }
   }
 
@@ -393,6 +496,20 @@ private:
   Adapter A;
   std::unique_ptr<ColoredArena> Current;
   MorphStats Stats;
+  /// Scratch state reused across reorganizations (capacity persists).
+  std::vector<Node *> ClusterNodes; ///< All nodes, cluster by cluster.
+  std::vector<size_t> ClusterEnds;  ///< Exclusive end of each cluster.
+  std::vector<WorkItem> ClusterRootsBuf;
+  std::vector<WorkItem> FrontierBuf;
+  std::vector<Node *> NewNodes;        ///< New nodes in placement order.
+  std::vector<Edge> Edges;             ///< All parent/child edges.
+  std::vector<uint32_t> RootPositions; ///< Forest roots' indices.
+  std::vector<uint32_t> IndexBuf;      ///< Random-scheme permutation.
+  std::vector<uint32_t> InvBuf;        ///< ... and its inverse.
+  std::vector<Node *> PermBuf;
+#ifndef NDEBUG
+  FlatMap64 Remap; ///< Debug-build DAG check (old -> new address).
+#endif
 };
 
 } // namespace ccl

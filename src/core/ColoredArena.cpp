@@ -17,57 +17,9 @@ ColoredArena::ColoredArena(const CacheParams &ParamsIn)
   assert(FrameBytes >= 4096 && "cache too small to frame-align");
 }
 
-char *ColoredArena::frameAt(size_t Index) {
-  ensureFrame(Index);
-  return Frames[Index];
-}
-
 void ColoredArena::ensureFrame(size_t Index) {
   while (Frames.size() <= Index)
     Frames.push_back(static_cast<char *>(Backing.allocateSlab(FrameBytes)));
-}
-
-void *ColoredArena::bump(Cursor &C, uint64_t RegionBase, uint64_t RegionSize,
-                         size_t Bytes, size_t Align, uint64_t NoCrossBytes,
-                         uint64_t &UsedCounter) {
-  assert(Bytes <= RegionSize && "allocation exceeds colored region size");
-  assert(isPowerOf2(Align) && Align <= 4096 &&
-         "unsupported colored-allocation alignment");
-  for (;;) {
-    char *Frame = frameAt(C.Frame);
-    uint64_t Absolute = addrOf(Frame) + RegionBase + C.Offset;
-    uint64_t Aligned = alignUp(Absolute, Align);
-    // Never straddle a NoCrossBytes boundary (unless the object itself
-    // is larger than one such unit, in which case start on a boundary).
-    if (NoCrossBytes != 0 &&
-        alignDown(Aligned, NoCrossBytes) !=
-            alignDown(Aligned + Bytes - 1, NoCrossBytes))
-      Aligned = alignUp(Aligned, NoCrossBytes);
-    uint64_t NewOffset = (Aligned - addrOf(Frame) - RegionBase) + Bytes;
-    if (NewOffset <= RegionSize) {
-      C.Offset = NewOffset;
-      UsedCounter += Bytes;
-      return reinterpret_cast<void *>(Aligned);
-    }
-    // Region of this frame exhausted: advance to the next frame. The
-    // skipped tail is an address-space gap, never touched.
-    ++C.Frame;
-    C.Offset = 0;
-  }
-}
-
-void *ColoredArena::allocateHot(size_t Bytes, size_t Align,
-                                uint64_t NoCrossBytes) {
-  assert(Params.HotSets > 0 && "no hot region configured");
-  return bump(Hot, /*RegionBase=*/0, HotBytes, Bytes, Align, NoCrossBytes,
-              HotUsed);
-}
-
-void *ColoredArena::allocateCold(size_t Bytes, size_t Align,
-                                 uint64_t NoCrossBytes) {
-  assert(Params.HotSets < Params.CacheSets && "no cold region configured");
-  return bump(Cold, /*RegionBase=*/HotBytes, FrameBytes - HotBytes, Bytes,
-              Align, NoCrossBytes, ColdUsed);
 }
 
 uint64_t ColoredArena::setOf(const void *Ptr) const {

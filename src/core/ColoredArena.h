@@ -44,12 +44,23 @@ public:
   /// straddles a NoCrossBytes boundary (advancing to the next boundary
   /// if needed) — used by ccmorph to pack small clusters into cache
   /// blocks without ever splitting a cluster across two blocks.
+  ///
+  /// Inline: ccmorph performs one colored allocation per cluster, which
+  /// at a couple of nodes per block means one call every few nodes.
   void *allocateHot(size_t Bytes, size_t Align = 8,
-                    uint64_t NoCrossBytes = 0);
+                    uint64_t NoCrossBytes = 0) {
+    assert(Params.HotSets > 0 && "no hot region configured");
+    return bump(Hot, /*RegionBase=*/0, HotBytes, Bytes, Align, NoCrossBytes,
+                HotUsed);
+  }
 
   /// Allocates in the cold region (sets [HotSets, CacheSets)).
   void *allocateCold(size_t Bytes, size_t Align = 8,
-                     uint64_t NoCrossBytes = 0);
+                     uint64_t NoCrossBytes = 0) {
+    assert(Params.HotSets < Params.CacheSets && "no cold region configured");
+    return bump(Cold, /*RegionBase=*/HotBytes, FrameBytes - HotBytes, Bytes,
+                Align, NoCrossBytes, ColdUsed);
+  }
 
   /// The cache set the given pointer maps to.
   uint64_t setOf(const void *Ptr) const;
@@ -84,11 +95,40 @@ private:
     uint64_t Offset = 0; // Offset within the frame's region.
   };
 
-  char *frameAt(size_t Index);
+  char *frameAt(size_t Index) {
+    if (Index >= Frames.size())
+      ensureFrame(Index);
+    return Frames[Index];
+  }
   void ensureFrame(size_t Index);
   void *bump(Cursor &C, uint64_t RegionBase, uint64_t RegionSize,
              size_t Bytes, size_t Align, uint64_t NoCrossBytes,
-             uint64_t &UsedCounter);
+             uint64_t &UsedCounter) {
+    assert(Bytes <= RegionSize && "allocation exceeds colored region size");
+    assert(isPowerOf2(Align) && Align <= 4096 &&
+           "unsupported colored-allocation alignment");
+    for (;;) {
+      char *Frame = frameAt(C.Frame);
+      uint64_t Absolute = addrOf(Frame) + RegionBase + C.Offset;
+      uint64_t Aligned = alignUp(Absolute, Align);
+      // Never straddle a NoCrossBytes boundary (unless the object itself
+      // is larger than one such unit, in which case start on a boundary).
+      if (NoCrossBytes != 0 &&
+          alignDown(Aligned, NoCrossBytes) !=
+              alignDown(Aligned + Bytes - 1, NoCrossBytes))
+        Aligned = alignUp(Aligned, NoCrossBytes);
+      uint64_t NewOffset = (Aligned - addrOf(Frame) - RegionBase) + Bytes;
+      if (NewOffset <= RegionSize) {
+        C.Offset = NewOffset;
+        UsedCounter += Bytes;
+        return reinterpret_cast<void *>(Aligned);
+      }
+      // Region of this frame exhausted: advance to the next frame. The
+      // skipped tail is an address-space gap, never touched.
+      ++C.Frame;
+      C.Offset = 0;
+    }
+  }
 
   CacheParams Params;
   uint64_t FrameBytes; // CacheSets * BlockBytes.

@@ -3,12 +3,24 @@
 // Part of the cache-conscious structure layout library (PLDI'99 repro).
 //
 //===----------------------------------------------------------------------===//
+//
+// Hot-path layout: every per-slot occupancy loop of the original
+// implementation (first-fit run search, nearest-block search, bump scan)
+// is driven by the per-page occupancy bitmaps instead. A bitmap candidate
+// is a *necessary* condition (the block fits the smallest chunk), so each
+// candidate is confirmed against the exact Used[] byte count — searches
+// visit candidates in exactly the order the per-slot loops did, which
+// keeps placement decisions and HeapStats bit-identical (locked down by
+// the parity tests in tests/heap_test.cpp).
+//
+//===----------------------------------------------------------------------===//
 
 #include "heap/CcHeap.h"
 
 #include "support/Align.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -16,8 +28,6 @@
 
 using namespace ccl;
 using namespace ccl::heap;
-
-static constexpr uint32_t FreedMagic = 0xDEADF9EEu;
 
 const char *ccl::heap::strategyName(CcStrategy Strategy) {
   switch (Strategy) {
@@ -42,17 +52,14 @@ CcHeap::CcHeap(HeapConfig ConfigIn) : Config(ConfigIn) {
   assert(Config.BlockBytes > HeaderBytes &&
          "cache block must be larger than the chunk header");
   BlocksPerPage = Config.PageBytes / Config.BlockBytes;
+  BitmapWords = (BlocksPerPage + 63) / 64;
+  BlockShift = static_cast<uint32_t>(std::countr_zero(Config.BlockBytes));
+  FreeBins.resize((Config.BlockBytes - HeaderBytes) / 8);
 }
 
 CcHeap::~CcHeap() {
   for (void *Slab : Slabs)
     std::free(Slab);
-}
-
-size_t CcHeap::roundSize(size_t Size) const {
-  if (Size == 0)
-    Size = 1;
-  return alignUp(Size, 8);
 }
 
 CcHeap::PageInfo *CcHeap::newPage() {
@@ -71,38 +78,86 @@ CcHeap::PageInfo *CcHeap::newPage() {
 
   auto Page = std::make_unique<PageInfo>();
   Page->Base = Memory;
-  Page->Used.assign(BlocksPerPage, 0);
-  Page->Live.assign(BlocksPerPage, 0);
-  Page->Epoch.assign(BlocksPerPage, 0);
+  Page->Meta.assign(BlocksPerPage, BlockMeta{});
+  // All blocks empty and fit-capable; bits past BlocksPerPage stay zero.
+  Page->EmptyBits.assign(BitmapWords, ~uint64_t(0));
+  uint32_t Tail = BlocksPerPage & 63;
+  if (Tail)
+    Page->EmptyBits.back() = (uint64_t(1) << Tail) - 1;
+  Page->FitBits = Page->EmptyBits;
   PageInfo *Result = Page.get();
-  Pages.emplace(addrOf(Memory), std::move(Page));
+  PageMap.tryInsert(addrOf(Memory), addrOf(Result));
+  PageList.push_back(std::move(Page));
   ++Stats.PagesAllocated;
   return Result;
 }
 
-CcHeap::PageInfo *CcHeap::findPage(const void *Ptr) const {
-  uint64_t Base = alignDown(addrOf(Ptr), Config.PageBytes);
-  auto It = Pages.find(Base);
-  return It == Pages.end() ? nullptr : It->second.get();
+int64_t CcHeap::findFirstSetFrom(const std::vector<uint64_t> &Bits,
+                                 uint32_t From) const {
+  if (From >= BlocksPerPage)
+    return -1;
+  uint32_t Word = From >> 6;
+  uint32_t Rem = From & 63;
+  uint64_t Masked = Bits[Word] & (~uint64_t(0) << Rem);
+  for (;;) {
+    if (Masked)
+      return int64_t(Word) * 64 + std::countr_zero(Masked);
+    if (++Word >= BitmapWords)
+      return -1;
+    Masked = Bits[Word];
+  }
 }
 
-void *CcHeap::carve(PageInfo &Page, uint32_t BlockIdx, size_t Rounded,
-                    size_t Requested) {
-  (void)Requested;
-  size_t Need = HeaderBytes + Rounded;
-  assert(BlockIdx < BlocksPerPage && "block index out of range");
-  assert(Page.Used[BlockIdx] + Need <= Config.BlockBytes &&
-         "carve target block lacks space");
-  char *Chunk =
-      Page.Base + size_t(BlockIdx) * Config.BlockBytes + Page.Used[BlockIdx];
-  Page.Used[BlockIdx] += static_cast<uint16_t>(Need);
-  Page.Live[BlockIdx] += 1;
+int64_t CcHeap::findLastSetAtOrBelow(const std::vector<uint64_t> &Bits,
+                                     uint32_t Pos) const {
+  uint32_t Word = Pos >> 6;
+  uint32_t Rem = Pos & 63;
+  uint64_t Masked =
+      Bits[Word] & (Rem == 63 ? ~uint64_t(0) : (uint64_t(1) << (Rem + 1)) - 1);
+  for (;;) {
+    if (Masked)
+      return int64_t(Word) * 64 + 63 - std::countl_zero(Masked);
+    if (Word-- == 0)
+      return -1;
+    Masked = Bits[Word];
+  }
+}
 
-  auto *Header = reinterpret_cast<ChunkHeader *>(Chunk);
-  Header->Size = static_cast<uint32_t>(Rounded);
-  Header->Magic = HeaderMagic;
-  Stats.BytesLive += Need;
-  return Chunk + HeaderBytes;
+int64_t CcHeap::findEmptyRun(const PageInfo &Page, uint32_t RunBlocks) const {
+  // Walks runs of set bits word by word, carrying runs that end at a
+  // word's top bit into the next word — identical to the per-slot scan's
+  // "first window of RunBlocks consecutive empty blocks".
+  uint32_t RunLen = 0;
+  uint32_t RunStart = 0;
+  for (uint32_t Word = 0; Word < BitmapWords; ++Word) {
+    uint64_t Bits = Page.EmptyBits[Word];
+    uint32_t Consumed = 0;
+    while (Consumed < 64) {
+      if (Bits == 0) {
+        RunLen = 0;
+        break;
+      }
+      uint32_t Zeros = uint32_t(std::countr_zero(Bits));
+      if (Zeros) {
+        RunLen = 0;
+        Bits >>= Zeros;
+        Consumed += Zeros;
+      }
+      uint32_t Ones = Bits == ~uint64_t(0)
+                          ? 64u
+                          : uint32_t(std::countr_one(Bits));
+      if (RunLen == 0)
+        RunStart = Word * 64 + Consumed;
+      RunLen += Ones;
+      if (RunLen >= RunBlocks)
+        return RunStart;
+      Consumed += Ones;
+      if (Consumed >= 64)
+        break; // Run reaches the word's top bit: carry into the next.
+      Bits >>= Ones;
+    }
+  }
+  return -1;
 }
 
 void *CcHeap::bumpAllocate(PageInfo *&Cursor, size_t Rounded,
@@ -111,14 +166,18 @@ void *CcHeap::bumpAllocate(PageInfo *&Cursor, size_t Rounded,
   if (!Cursor)
     Cursor = newPage();
   for (;;) {
-    uint32_t Idx = Cursor->ScanHint;
-    while (Idx < BlocksPerPage &&
-           (EmptyBlockOnly ? Cursor->Used[Idx] != 0
-                           : Cursor->Used[Idx] + Need > Config.BlockBytes))
-      ++Idx;
-    if (Idx < BlocksPerPage) {
-      Cursor->ScanHint = Idx;
-      return carve(*Cursor, Idx, Rounded, Requested);
+    int64_t Idx;
+    if (EmptyBlockOnly) {
+      Idx = findFirstSetFrom(Cursor->EmptyBits, Cursor->ScanHint);
+    } else {
+      for (Idx = findFirstSetFrom(Cursor->FitBits, Cursor->ScanHint);
+           Idx >= 0 && Cursor->Meta[Idx].Used + Need > Config.BlockBytes;
+           Idx = findFirstSetFrom(Cursor->FitBits, uint32_t(Idx) + 1))
+        ;
+    }
+    if (Idx >= 0) {
+      Cursor->ScanHint = uint32_t(Idx);
+      return carve(*Cursor, uint32_t(Idx), Rounded, Requested);
     }
     Cursor = newPage();
   }
@@ -135,33 +194,23 @@ void *CcHeap::allocateLarge(size_t Rounded, size_t Requested) {
   // Find a run of fully-empty blocks; take a fresh page if none.
   PageInfo *Page = PlainCursor ? PlainCursor : newPage();
   PlainCursor = Page;
-  uint32_t RunStart = 0;
-  uint32_t RunLen = 0;
-  bool Found = false;
-  for (uint32_t Idx = 0; Idx < BlocksPerPage; ++Idx) {
-    if (Page->Used[Idx] == 0) {
-      if (RunLen == 0)
-        RunStart = Idx;
-      if (++RunLen == BlocksNeeded) {
-        Found = true;
-        break;
-      }
-    } else {
-      RunLen = 0;
-    }
-  }
-  if (!Found) {
+  int64_t Run = findEmptyRun(*Page, BlocksNeeded);
+  if (Run < 0) {
     Page = newPage();
     PlainCursor = Page;
-    RunStart = 0;
+    Run = 0;
   }
+  uint32_t RunStart = uint32_t(Run);
 
   // The run is marked fully used so no small chunk shares its tail; the
   // leading block carries the live count for the whole run.
   char *Chunk = Page->Base + size_t(RunStart) * Config.BlockBytes;
-  for (uint32_t Idx = RunStart; Idx < RunStart + BlocksNeeded; ++Idx)
-    Page->Used[Idx] = static_cast<uint16_t>(Config.BlockBytes);
-  Page->Live[RunStart] = 1;
+  for (uint32_t Idx = RunStart; Idx < RunStart + BlocksNeeded; ++Idx) {
+    Page->Meta[Idx].Used = static_cast<uint16_t>(Config.BlockBytes);
+    clearBit(Page->EmptyBits, Idx);
+    clearBit(Page->FitBits, Idx);
+  }
+  Page->Meta[RunStart].Live = 1;
 
   auto *Header = reinterpret_cast<ChunkHeader *>(Chunk);
   Header->Size = static_cast<uint32_t>(Rounded);
@@ -172,35 +221,38 @@ void *CcHeap::allocateLarge(size_t Rounded, size_t Requested) {
 }
 
 bool CcHeap::chunkValid(const FreeChunk &Chunk) const {
-  const PageInfo *Page = findPage(Chunk.Payload);
-  assert(Page && "free-list chunk outside the heap");
-  uint64_t Offset = addrOf(Chunk.Payload) - HeaderBytes - addrOf(Page->Base);
-  uint32_t BlockIdx = static_cast<uint32_t>(Offset / Config.BlockBytes);
-  return Page->Epoch[BlockIdx] == Chunk.Epoch;
+  assert(Chunk.Page == findPage(Chunk.Payload) &&
+         "free-list chunk page cache out of date");
+  uint64_t Offset =
+      addrOf(Chunk.Payload) - HeaderBytes - addrOf(Chunk.Page->Base);
+  uint32_t BlockIdx = static_cast<uint32_t>(Offset >> BlockShift);
+  return Chunk.Page->Meta[BlockIdx].Epoch == Chunk.Epoch;
 }
 
-void *CcHeap::popFreeList(size_t Rounded, uint64_t PageFilter) {
-  auto FreeIt = FreeLists.find(Rounded);
-  if (FreeIt == FreeLists.end())
-    return nullptr;
-  std::vector<FreeChunk> &Chunks = FreeIt->second;
+void *CcHeap::popFreeList(size_t Rounded, const PageInfo *PageFilter) {
+  size_t Bin = Rounded / 8 - 1;
+  if (Bin >= FreeBins.size())
+    return nullptr; // Larger than any recyclable chunk.
+  std::vector<FreeChunk> &Chunks = FreeBins[Bin];
 
   // Drop stale entries (invalidated by block reclamation) off the tail.
   while (!Chunks.empty() && !chunkValid(Chunks.back()))
     Chunks.pop_back();
-  if (Chunks.empty())
+  if (Chunks.empty()) {
+    if (Bin < 64)
+      BinsMask &= ~(uint64_t(1) << Bin);
     return nullptr;
+  }
 
   size_t Index = Chunks.size() - 1;
-  if (PageFilter != 0) {
+  if (PageFilter) {
     // Bounded tail scan for a valid chunk on the requested page.
     size_t Scan = std::min<size_t>(Chunks.size(), 16);
     bool Found = false;
     for (size_t I = 0; I < Scan; ++I) {
       size_t Candidate = Chunks.size() - 1 - I;
       const FreeChunk &C = Chunks[Candidate];
-      if (alignDown(addrOf(C.Payload), Config.PageBytes) == PageFilter &&
-          chunkValid(C)) {
+      if (C.Page == PageFilter && chunkValid(C)) {
         Index = Candidate;
         Found = true;
         break;
@@ -210,97 +262,93 @@ void *CcHeap::popFreeList(size_t Rounded, uint64_t PageFilter) {
       return nullptr;
   }
 
-  void *Payload = Chunks[Index].Payload;
+  FreeChunk Chunk = Chunks[Index];
   Chunks.erase(Chunks.begin() + static_cast<ptrdiff_t>(Index));
+  if (Chunks.empty() && Bin < 64)
+    BinsMask &= ~(uint64_t(1) << Bin);
   auto *Header = reinterpret_cast<ChunkHeader *>(
-      static_cast<char *>(Payload) - HeaderBytes);
+      static_cast<char *>(Chunk.Payload) - HeaderBytes);
   assert(Header->Magic == FreedMagic && "free-list chunk corrupted");
   Header->Magic = HeaderMagic;
 
-  PageInfo *Page = findPage(Payload);
   uint32_t BlockIdx = static_cast<uint32_t>(
-      (addrOf(Payload) - HeaderBytes - addrOf(Page->Base)) /
-      Config.BlockBytes);
-  Page->Live[BlockIdx] += 1;
+      (addrOf(Chunk.Payload) - HeaderBytes - addrOf(Chunk.Page->Base)) >>
+      BlockShift);
+  Chunk.Page->Meta[BlockIdx].Live += 1;
   Stats.BytesLive += HeaderBytes + Rounded;
   ++Stats.FreeListReuses;
-  return Payload;
+  return Chunk.Payload;
 }
 
-void *CcHeap::allocate(size_t Size) {
-  ++Stats.AllocCalls;
-  size_t Rounded = roundSize(Size);
-  Stats.BytesRequested += Size;
-
+void *CcHeap::allocateSlow(size_t Rounded, size_t Requested) {
   // Recycle an exact-size chunk if one is free.
-  if (void *Reused = popFreeList(Rounded, /*PageFilter=*/0))
+  if (void *Reused = popFreeList(Rounded, /*PageFilter=*/nullptr))
     return Reused;
 
   if (HeaderBytes + Rounded > Config.BlockBytes)
-    return allocateLarge(Rounded, Size);
-  return bumpAllocate(PlainCursor, Rounded, Size);
+    return allocateLarge(Rounded, Requested);
+  return bumpAllocate(PlainCursor, Rounded, Requested);
 }
 
 int64_t CcHeap::findBlock(const PageInfo &Page, uint32_t NearBlock,
                           size_t Rounded, CcStrategy Strategy) const {
   size_t Need = HeaderBytes + Rounded;
-  auto Fits = [&](uint32_t Idx) {
-    return Page.Used[Idx] + Need <= Config.BlockBytes;
+  auto Fits = [&](int64_t Idx) {
+    return Page.Meta[Idx].Used + Need <= Config.BlockBytes;
   };
 
+  // FitBits candidates are a superset of every exact fit (Need >=
+  // MinNeed), so walking candidates in the per-slot loops' visit order
+  // and confirming against Used[] reproduces their decisions exactly.
   switch (Strategy) {
-  case CcStrategy::Closest:
-    for (uint32_t Dist = 1; Dist < BlocksPerPage; ++Dist) {
-      if (NearBlock >= Dist && Fits(NearBlock - Dist))
-        return NearBlock - Dist;
-      if (NearBlock + Dist < BlocksPerPage && Fits(NearBlock + Dist))
-        return NearBlock + Dist;
+  case CcStrategy::Closest: {
+    // Candidates outward from the hint; ties resolve below the hint,
+    // matching the "- Dist before + Dist" order of the original scan.
+    int64_t Below = NearBlock == 0
+                        ? -1
+                        : findLastSetAtOrBelow(Page.FitBits, NearBlock - 1);
+    int64_t Above = findFirstSetFrom(Page.FitBits, NearBlock + 1);
+    while (Below >= 0 || Above >= 0) {
+      uint64_t DistBelow =
+          Below >= 0 ? uint64_t(NearBlock - Below) : ~uint64_t(0);
+      uint64_t DistAbove =
+          Above >= 0 ? uint64_t(Above - NearBlock) : ~uint64_t(0);
+      if (DistBelow <= DistAbove) {
+        if (Fits(Below))
+          return Below;
+        Below = Below == 0
+                    ? -1
+                    : findLastSetAtOrBelow(Page.FitBits, uint32_t(Below) - 1);
+      } else {
+        if (Fits(Above))
+          return Above;
+        Above = findFirstSetFrom(Page.FitBits, uint32_t(Above) + 1);
+      }
     }
     return -1;
+  }
   case CcStrategy::FirstFit:
-    for (uint32_t Idx = 0; Idx < BlocksPerPage; ++Idx)
+    for (int64_t Idx = findFirstSetFrom(Page.FitBits, 0); Idx >= 0;
+         Idx = findFirstSetFrom(Page.FitBits, uint32_t(Idx) + 1))
       if (Fits(Idx))
         return Idx;
     return -1;
   case CcStrategy::NewBlock:
-    for (uint32_t Idx = 0; Idx < BlocksPerPage; ++Idx)
-      if (Page.Used[Idx] == 0)
-        return Idx;
-    return -1;
+    return findFirstSetFrom(Page.EmptyBits, 0);
   }
   return -1;
 }
 
-void *CcHeap::allocateNear(size_t Size, const void *Near,
-                           CcStrategy Strategy) {
-  PageInfo *Page = Near ? findPage(Near) : nullptr;
-  if (!Page)
-    return allocate(Size); // Null or foreign hint: plain malloc path.
-
-  ++Stats.AllocCalls;
-  ++Stats.NearCalls;
-  size_t Rounded = roundSize(Size);
-  Stats.BytesRequested += Size;
-  if (HeaderBytes + Rounded > Config.BlockBytes)
-    return allocateLarge(Rounded, Size);
-
-  size_t Need = HeaderBytes + Rounded;
-  uint32_t NearBlock = static_cast<uint32_t>(
-      (addrOf(Near) - addrOf(Page->Base)) / Config.BlockBytes);
-
-  // Primary goal: same cache block as the hint.
-  if (Page->Used[NearBlock] + Need <= Config.BlockBytes) {
-    ++Stats.SameBlock;
-    return carve(*Page, NearBlock, Rounded, Size);
-  }
-
+void *CcHeap::allocateNearSlow(PageInfo &Page, uint32_t NearBlock,
+                               size_t Rounded, size_t Requested,
+                               CcStrategy Strategy) {
   // Fallback: same page, block chosen by strategy. Same-page placement
   // keeps the working set small and cannot conflict in the cache with
   // the hint (paper §3.2.1).
-  int64_t BlockIdx = findBlock(*Page, NearBlock, Rounded, Strategy);
+  int64_t BlockIdx = findBlock(Page, NearBlock, Rounded, Strategy);
   if (BlockIdx >= 0) {
     ++Stats.SamePage;
-    return carve(*Page, static_cast<uint32_t>(BlockIdx), Rounded, Size);
+    return carve(Page, static_cast<uint32_t>(BlockIdx), Rounded, Requested);
   }
 
   // Page full: recycle a freed chunk on the hint's page if one exists
@@ -309,7 +357,7 @@ void *CcHeap::allocateNear(size_t Size, const void *Near,
   // NOT take a random freed chunk from another page: the object chain
   // migrates to a fresh page and subsequent hinted allocations co-locate
   // there again.
-  if (void *Reused = popFreeList(Rounded, addrOf(Page->Base))) {
+  if (void *Reused = popFreeList(Rounded, &Page)) {
     ++Stats.SamePage;
     return Reused;
   }
@@ -317,48 +365,32 @@ void *CcHeap::allocateNear(size_t Size, const void *Near,
   // Prefer a whole reclaimed block: the migrating chain gets a fresh
   // block with room for several future same-block co-locations.
   while (!FreeBlockPool.empty()) {
-    auto [PoolPage, BlockIdx] = FreeBlockPool.back();
+    auto [PoolPage, PoolIdx] = FreeBlockPool.back();
     FreeBlockPool.pop_back();
-    if (PoolPage->Used[BlockIdx] == 0)
-      return carve(*PoolPage, BlockIdx, Rounded, Size);
+    if (PoolPage->Meta[PoolIdx].Used == 0)
+      return carve(*PoolPage, PoolIdx, Rounded, Requested);
   }
-  return bumpAllocate(SpillCursor, Rounded, Size, /*EmptyBlockOnly=*/true);
+  return bumpAllocate(SpillCursor, Rounded, Requested,
+                      /*EmptyBlockOnly=*/true);
 }
 
-void CcHeap::deallocate(void *Ptr) {
-  if (!Ptr)
-    return;
-  auto *Header =
-      reinterpret_cast<ChunkHeader *>(static_cast<char *>(Ptr) - HeaderBytes);
-  assert(Header->Magic == HeaderMagic &&
-         "deallocate: bad chunk (double free or foreign pointer?)");
-  assert(owns(Ptr) && "deallocate: pointer not owned by this heap");
-  PageInfo *Page = findPage(Ptr);
-  size_t Need = HeaderBytes + Header->Size;
-  uint64_t Offset = addrOf(Ptr) - HeaderBytes - addrOf(Page->Base);
-  uint32_t BlockIdx = static_cast<uint32_t>(Offset / Config.BlockBytes);
-
-  Header->Magic = FreedMagic;
-  Stats.BytesLive -= Need;
-  ++Stats.FreeCalls;
-
-  assert(Page->Live[BlockIdx] > 0 && "live count underflow");
-  Page->Live[BlockIdx] -= 1;
-  if (Page->Live[BlockIdx] == 0) {
-    // Whole block (or block run, for large chunks) is dead: reclaim it
-    // and invalidate any free-list entries pointing into it.
-    uint32_t BlocksSpanned = static_cast<uint32_t>(
-        (Need + Config.BlockBytes - 1) / Config.BlockBytes);
-    for (uint32_t Idx = BlockIdx; Idx < BlockIdx + BlocksSpanned; ++Idx) {
-      Page->Used[Idx] = 0;
-      Page->Epoch[Idx] += 1;
-      FreeBlockPool.push_back({Page, Idx});
-    }
-    Page->ScanHint = std::min(Page->ScanHint, BlockIdx);
-    ++Stats.BlocksReclaimed;
-    return;
+void CcHeap::reclaimBlocks(PageInfo &Page, uint32_t BlockIdx, size_t Need) {
+  // Reclaim the dead block run and invalidate any free-list entries
+  // pointing into it (via the epoch bump).
+  uint32_t BlocksSpanned = static_cast<uint32_t>(
+      (Need + Config.BlockBytes - 1) / Config.BlockBytes);
+  for (uint32_t Idx = BlockIdx; Idx < BlockIdx + BlocksSpanned; ++Idx) {
+    Page.Meta[Idx].Used = 0;
+    Page.Meta[Idx].Epoch += 1;
+    setBit(Page.EmptyBits, Idx);
+    setBit(Page.FitBits, Idx);
+    // Same adjacent-duplicate collapse as the inline single-block path.
+    if (FreeBlockPool.empty() || FreeBlockPool.back().first != &Page ||
+        FreeBlockPool.back().second != Idx)
+      FreeBlockPool.push_back({&Page, Idx});
   }
-  FreeLists[Header->Size].push_back({Ptr, Page->Epoch[BlockIdx]});
+  Page.ScanHint = std::min(Page.ScanHint, BlockIdx);
+  ++Stats.BlocksReclaimed;
 }
 
 bool CcHeap::owns(const void *Ptr) const {

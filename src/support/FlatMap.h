@@ -28,7 +28,9 @@
 #define CCL_SUPPORT_FLATMAP_H
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace ccl {
@@ -42,6 +44,15 @@ public:
 
   size_t size() const { return Count; }
   bool empty() const { return Count == 0; }
+
+  /// Pre-sizes the table so \p Expected insertions never rehash.
+  void reserve(size_t Expected) {
+    size_t NeededSlots = 16;
+    while (Expected * 8 > NeededSlots * 7)
+      NeededSlots *= 2;
+    if (NeededSlots > Slots.size())
+      rehash(NeededSlots);
+  }
 
   /// Returns a pointer to the value for \p Key, or nullptr if absent.
   /// The pointer is invalidated by any mutating operation.
@@ -85,6 +96,24 @@ public:
       *Existing = Value;
     else
       tryInsert(Key, Value);
+  }
+
+  /// Returns a reference to the value for \p Key, inserting \p Default
+  /// first if the key is absent (unordered_map::operator[] semantics).
+  /// The reference is invalidated by any mutating operation.
+  uint64_t &findOrInsert(uint64_t Key, uint64_t Default = 0) {
+    assert(Key != EmptyKey && "key value reserved for empty slots");
+    if ((Count + 1) * 8 > Slots.size() * 7)
+      grow();
+    for (size_t I = slotOf(Key);; I = next(I)) {
+      if (Slots[I].Key == Key)
+        return Slots[I].Value;
+      if (Slots[I].Key == EmptyKey) {
+        Slots[I] = {Key, Default};
+        ++Count;
+        return Slots[I].Value;
+      }
+    }
   }
 
   /// Removes \p Key if present; returns true if it was removed.
@@ -146,9 +175,10 @@ private:
 
   size_t next(size_t I) const { return (I + 1) & (Slots.size() - 1); }
 
-  void grow() {
+  void grow() { rehash(Slots.empty() ? 16 : Slots.size() * 2); }
+
+  void rehash(size_t NewCapacity) {
     std::vector<Slot> Old = std::move(Slots);
-    size_t NewCapacity = Old.empty() ? 16 : Old.size() * 2;
     Slots.assign(NewCapacity, Slot());
     Shift = 64 - log2OfPow2(NewCapacity);
     size_t Kept = Count;
@@ -172,6 +202,41 @@ private:
   std::vector<Slot> Slots;
   size_t Count = 0;
   unsigned Shift = 64;
+};
+
+/// Open-addressing map from object addresses to 64-bit counters: the
+/// hot-path replacement for the profile tables that used to be
+/// std::unordered_map<const T *, uint64_t>. Pointer identity is the key
+/// (a valid object address can never be ~0ULL, the empty marker), so one
+/// map type serves every node type. operator[] mirrors unordered_map:
+/// absent keys are inserted with count zero.
+class PtrCountMap {
+public:
+  size_t size() const { return Map.size(); }
+  bool empty() const { return Map.empty(); }
+  void clear() { Map.clear(); }
+  void reserve(size_t Expected) { Map.reserve(Expected); }
+
+  /// Counter for \p Ptr, inserted as zero if absent. The reference is
+  /// invalidated by any mutating operation.
+  uint64_t &operator[](const void *Ptr) {
+    return Map.findOrInsert(reinterpret_cast<uint64_t>(Ptr));
+  }
+
+  /// Counter for \p Ptr, or nullptr when the pointer was never counted.
+  const uint64_t *find(const void *Ptr) const {
+    return Map.find(reinterpret_cast<uint64_t>(Ptr));
+  }
+
+  bool contains(const void *Ptr) const { return find(Ptr) != nullptr; }
+
+  /// Visits every (address, count) pair in table order.
+  template <typename Fn> void forEach(Fn &&Visit) const {
+    Map.forEach(std::forward<Fn>(Visit));
+  }
+
+private:
+  FlatMap64 Map;
 };
 
 } // namespace ccl

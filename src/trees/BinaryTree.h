@@ -21,8 +21,7 @@
 
 #include "core/CcMorph.h"
 #include "support/Arena.h"
-
-#include <unordered_map>
+#include "support/FlatMap.h"
 
 #include <cstdint>
 
@@ -74,7 +73,7 @@ const BstNode *bstSearch(const BstNode *Root, uint32_t Key, Access &A) {
 template <typename Access>
 const BstNode *
 bstSearchProfiled(const BstNode *Root, uint32_t Key, Access &A,
-                  std::unordered_map<const BstNode *, uint64_t> &Counts) {
+                  PtrCountMap &Counts) {
   const BstNode *N = Root;
   while (N) {
     ++Counts[N];

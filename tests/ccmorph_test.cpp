@@ -12,7 +12,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
+#include <deque>
 #include <set>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 using namespace ccl;
@@ -354,4 +359,321 @@ TEST(CcMorphProfiled, RespectsHotBudget) {
   Morph.reorganizeProfiled(Tree.root(), Counts);
   EXPECT_LE(Morph.stats().HotNodes * sizeof(BstNode), P.hotCapacityBytes());
   EXPECT_GT(Morph.stats().HotNodes, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Placement parity: flat-map/vector CcMorph vs the seed implementation
+//===----------------------------------------------------------------------===//
+
+namespace seedref {
+
+/// Placement key invariant under arena base addresses: (frame index in
+/// creation order, offset within the frame). Hot membership is implied
+/// (offset < hotBytesPerFrame), but carried anyway for clearer failures.
+struct Placement {
+  uint64_t Frame;
+  uint64_t Offset;
+  bool Hot;
+  bool operator==(const Placement &O) const {
+    return Frame == O.Frame && Offset == O.Offset && Hot == O.Hot;
+  }
+};
+
+Placement placementOf(const ColoredArena &Arena, const void *Ptr) {
+  Placement Result{~uint64_t(0), 0, false};
+  uint64_t Frame = 0;
+  Arena.forEachFrame([&](const char *Base, uint64_t Bytes,
+                         uint64_t HotBytes) {
+    uint64_t Offset = addrOf(Ptr) - addrOf(Base);
+    if (addrOf(Ptr) >= addrOf(Base) && Offset < Bytes)
+      Result = {Frame, Offset, Offset < HotBytes};
+    ++Frame;
+  });
+  return Result;
+}
+
+/// Verbatim port of the pre-flat-map ccmorph placement logic: deque
+/// work lists, per-cluster vectors, unordered_map profile lookups. It
+/// replays the cluster decisions on its own ColoredArena and returns
+/// the placement key every old node should get, in a map keyed by the
+/// old node. The production CcMorph must reproduce these placements
+/// exactly (same frame, same offset, same hot/cold region).
+template <typename Node, typename Adapter>
+std::unordered_map<const Node *, Placement> referencePlacements(
+    const std::vector<Node *> &Roots, const CacheParams &Params,
+    const MorphOptions &Options,
+    const std::unordered_map<const Node *, uint64_t> *Counts) {
+  Adapter A;
+  size_t K = Options.NodesPerBlock
+                 ? Options.NodesPerBlock
+                 : std::max<size_t>(1, Params.BlockBytes / sizeof(Node));
+
+  // Cluster formation, seed style (deque frontiers).
+  std::vector<std::vector<Node *>> Clusters;
+  auto ChunkOrder = [&](const std::vector<Node *> &Order) {
+    for (size_t Begin = 0; Begin < Order.size(); Begin += K) {
+      size_t End = std::min(Begin + K, Order.size());
+      Clusters.emplace_back(Order.begin() + Begin, Order.begin() + End);
+    }
+  };
+  switch (Options.Scheme) {
+  case LayoutScheme::Subtree: {
+    std::deque<Node *> ClusterRoots;
+    for (Node *Root : Roots)
+      if (Root)
+        ClusterRoots.push_back(Root);
+    while (!ClusterRoots.empty()) {
+      Node *Top = ClusterRoots.front();
+      ClusterRoots.pop_front();
+      std::vector<Node *> Cluster;
+      std::deque<Node *> Frontier{Top};
+      while (!Frontier.empty() && Cluster.size() < K) {
+        Node *N = Frontier.front();
+        Frontier.pop_front();
+        Cluster.push_back(N);
+        for (unsigned I = 0; I < Adapter::MaxKids; ++I)
+          if (Node *Kid = A.getKid(N, I))
+            Frontier.push_back(Kid);
+      }
+      for (Node *Kid : Frontier)
+        ClusterRoots.push_back(Kid);
+      Clusters.push_back(std::move(Cluster));
+    }
+    break;
+  }
+  case LayoutScheme::DepthFirst: {
+    std::vector<Node *> Order;
+    for (Node *Root : Roots) {
+      if (!Root)
+        continue;
+      std::vector<Node *> Stack{Root};
+      while (!Stack.empty()) {
+        Node *N = Stack.back();
+        Stack.pop_back();
+        Order.push_back(N);
+        for (unsigned I = Adapter::MaxKids; I > 0; --I)
+          if (Node *Kid = A.getKid(N, I - 1))
+            Stack.push_back(Kid);
+      }
+    }
+    ChunkOrder(Order);
+    break;
+  }
+  case LayoutScheme::Bfs:
+  case LayoutScheme::Random: {
+    std::vector<Node *> Order;
+    for (Node *Root : Roots) {
+      if (!Root)
+        continue;
+      std::deque<Node *> Queue{Root};
+      while (!Queue.empty()) {
+        Node *N = Queue.front();
+        Queue.pop_front();
+        Order.push_back(N);
+        for (unsigned I = 0; I < Adapter::MaxKids; ++I)
+          if (Node *Kid = A.getKid(N, I))
+            Queue.push_back(Kid);
+      }
+    }
+    if (Options.Scheme == LayoutScheme::Random) {
+      Xoshiro256 Rng(Options.Seed);
+      Rng.shuffle(Order);
+    }
+    ChunkOrder(Order);
+    break;
+  }
+  }
+
+  // Hot assignment, seed style.
+  uint64_t HotBudget = Options.Color ? Params.hotCapacityBytes() : 0;
+  std::vector<bool> HotFlag(Clusters.size(), false);
+  if (Counts && Options.Color) {
+    std::vector<std::pair<double, size_t>> Ranked;
+    for (size_t I = 0; I < Clusters.size(); ++I) {
+      uint64_t Weight = 0;
+      for (const Node *N : Clusters[I]) {
+        auto It = Counts->find(N);
+        if (It != Counts->end())
+          Weight += It->second;
+      }
+      Ranked.push_back({double(Weight) / double(Clusters[I].size()), I});
+    }
+    std::sort(Ranked.begin(), Ranked.end(),
+              [](const auto &X, const auto &Y) {
+                return X.first > Y.first ||
+                       (X.first == Y.first && X.second < Y.second);
+              });
+    uint64_t Budget = HotBudget;
+    for (const auto &[Weight, Index] : Ranked) {
+      uint64_t Footprint =
+          alignUp(Clusters[Index].size() * sizeof(Node), Params.BlockBytes);
+      if (Weight <= 0.0 || Budget < Footprint)
+        continue;
+      Budget -= Footprint;
+      HotFlag[Index] = true;
+    }
+  }
+
+  // Replay the copy pass on a private arena; record placement keys.
+  CacheParams ArenaParams = Params;
+  if (!Options.Color)
+    ArenaParams.HotSets = 0;
+  ColoredArena Arena(ArenaParams);
+  std::unordered_map<const Node *, Placement> Placements;
+  for (size_t ClusterIdx = 0; ClusterIdx < Clusters.size(); ++ClusterIdx) {
+    const auto &Cluster = Clusters[ClusterIdx];
+    size_t Bytes = Cluster.size() * sizeof(Node);
+    uint64_t Footprint = alignUp(Bytes, Params.BlockBytes);
+    bool Hot = Counts && Options.Color ? HotFlag[ClusterIdx]
+                                       : HotBudget >= Footprint;
+    char *Memory;
+    if (Hot) {
+      Memory = static_cast<char *>(
+          Arena.allocateHot(Bytes, alignof(Node), Params.BlockBytes));
+      HotBudget -= Footprint;
+    } else {
+      Memory = static_cast<char *>(
+          Arena.allocateCold(Bytes, alignof(Node), Params.BlockBytes));
+    }
+    for (size_t I = 0; I < Cluster.size(); ++I)
+      Placements[Cluster[I]] =
+          placementOf(Arena, Memory + I * sizeof(Node));
+  }
+  return Placements;
+}
+
+/// Pairs every old node with its reorganized counterpart by walking the
+/// isomorphic trees in lockstep.
+template <typename Node, typename Adapter>
+void pairNodes(Node *Old, Node *New,
+               std::vector<std::pair<Node *, Node *>> &Pairs) {
+  if (!Old || !New) {
+    ASSERT_EQ(Old == nullptr, New == nullptr) << "structure diverged";
+    return;
+  }
+  Adapter A;
+  Pairs.push_back({Old, New});
+  for (unsigned I = 0; I < Adapter::MaxKids; ++I)
+    pairNodes<Node, Adapter>(A.getKid(Old, I), A.getKid(New, I), Pairs);
+}
+
+/// Reorganizes with the production CcMorph and checks every node lands
+/// at exactly the placement key the seed logic computes.
+void expectSeedPlacements(uint64_t NumNodes, const CacheParams &Params,
+                          const MorphOptions &Options) {
+  auto Tree = BinarySearchTree::build(NumNodes, LayoutScheme::Random);
+  std::vector<BstNode *> Roots{Tree.root()};
+  auto Expected = referencePlacements<BstNode, BstAdapter>(
+      Roots, Params, Options, nullptr);
+
+  CcMorph<BstNode, BstAdapter> Morph(Params);
+  BstNode *NewRoot = Morph.reorganize(Tree.root(), Options);
+
+  std::vector<std::pair<BstNode *, BstNode *>> Pairs;
+  pairNodes<BstNode, BstAdapter>(Tree.root(), NewRoot, Pairs);
+  ASSERT_EQ(Pairs.size(), NumNodes);
+  ASSERT_EQ(Morph.stats().NodeCount, NumNodes);
+
+  uint64_t HotSeen = 0;
+  for (const auto &[Old, New] : Pairs) {
+    Placement Actual = placementOf(*Morph.arena(), New);
+    ASSERT_NE(Actual.Frame, ~uint64_t(0)) << "node outside the arena";
+    auto It = Expected.find(Old);
+    ASSERT_NE(It, Expected.end());
+    EXPECT_EQ(Actual.Frame, It->second.Frame);
+    EXPECT_EQ(Actual.Offset, It->second.Offset);
+    EXPECT_EQ(Actual.Hot, It->second.Hot);
+    HotSeen += Actual.Hot;
+  }
+  EXPECT_EQ(Morph.stats().HotNodes, HotSeen);
+  EXPECT_EQ(Morph.stats().ColdNodes, NumNodes - HotSeen);
+}
+
+} // namespace seedref
+
+TEST(CcMorphParity, SubtreeSchemeMatchesSeed) {
+  MorphOptions Options;
+  seedref::expectSeedPlacements(2047, smallParams(), Options);
+}
+
+TEST(CcMorphParity, AllSchemesAndShapesMatchSeed) {
+  for (LayoutScheme Scheme :
+       {LayoutScheme::Subtree, LayoutScheme::DepthFirst, LayoutScheme::Bfs,
+        LayoutScheme::Random}) {
+    for (uint64_t NumNodes : {1u, 7u, 100u, 1023u, 1500u}) {
+      MorphOptions Options;
+      Options.Scheme = Scheme;
+      seedref::expectSeedPlacements(NumNodes, smallParams(), Options);
+    }
+  }
+}
+
+TEST(CcMorphParity, UncoloredAndCustomKMatchSeed) {
+  MorphOptions Options;
+  Options.Color = false;
+  seedref::expectSeedPlacements(1023, smallParams(), Options);
+  Options.Color = true;
+  Options.NodesPerBlock = 5;
+  seedref::expectSeedPlacements(1023, smallParams(), Options);
+}
+
+TEST(CcMorphParity, ProfiledColoringMatchesSeed) {
+  // The same skewed profile in both representations: the flat
+  // PtrCountMap drives the production path, the unordered_map the
+  // reference. Keys are node addresses, so both count over one tree.
+  CacheParams Params = smallParams();
+  auto Workload = BinarySearchTree::build(1023, LayoutScheme::Random);
+  CcMorph<BstNode, BstAdapter>::Profile Counts;
+  std::unordered_map<const BstNode *, uint64_t> RefCounts;
+  sim::NativeAccess A;
+  Xoshiro256 Rng(0x90F11EULL);
+  for (unsigned I = 0; I < 3000; ++I) {
+    uint32_t Key = BinarySearchTree::keyAt(Rng.nextBounded(64));
+    bstSearchProfiled(Workload.root(), Key, A, Counts);
+  }
+  Counts.forEach([&](uint64_t Key, uint64_t Value) {
+    RefCounts[reinterpret_cast<const BstNode *>(Key)] = Value;
+  });
+
+  MorphOptions Options;
+  std::vector<BstNode *> Roots{
+      const_cast<BstNode *>(Workload.root())};
+  auto Expected = seedref::referencePlacements<BstNode, BstAdapter>(
+      Roots, Params, Options, &RefCounts);
+
+  CcMorph<BstNode, BstAdapter> Morph(Params);
+  BstNode *NewRoot = Morph.reorganizeProfiled(
+      const_cast<BstNode *>(Workload.root()), Counts, Options);
+  std::vector<std::pair<BstNode *, BstNode *>> Pairs;
+  seedref::pairNodes<BstNode, BstAdapter>(
+      const_cast<BstNode *>(Workload.root()), NewRoot, Pairs);
+  for (const auto &[Old, New] : Pairs) {
+    seedref::Placement Actual =
+        seedref::placementOf(*Morph.arena(), New);
+    auto It = Expected.find(Old);
+    ASSERT_NE(It, Expected.end());
+    EXPECT_TRUE(Actual == It->second)
+        << "frame " << Actual.Frame << "/" << It->second.Frame
+        << " offset " << Actual.Offset << "/" << It->second.Offset;
+  }
+}
+
+TEST(CcMorphParity, ScratchReuseKeepsPlacementsStable) {
+  // Reorganizing twice through one CcMorph (warm scratch buffers) must
+  // place exactly like a fresh instance.
+  auto Tree = BinarySearchTree::build(1023, LayoutScheme::Random);
+  CcMorph<BstNode, BstAdapter> Warm(smallParams());
+  BstNode *First = Warm.reorganize(Tree.root());
+  BstNode *Second = Warm.reorganize(First);
+
+  CcMorph<BstNode, BstAdapter> Fresh(smallParams());
+  BstNode *Direct = Fresh.reorganize(Tree.root());
+
+  std::vector<std::pair<BstNode *, BstNode *>> Pairs;
+  seedref::pairNodes<BstNode, BstAdapter>(Second, Direct, Pairs);
+  for (const auto &[Reused, Once] : Pairs) {
+    seedref::Placement A = seedref::placementOf(*Warm.arena(), Reused);
+    seedref::Placement B = seedref::placementOf(*Fresh.arena(), Once);
+    EXPECT_TRUE(A == B);
+  }
 }

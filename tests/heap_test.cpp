@@ -12,8 +12,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 using namespace ccl;
@@ -329,4 +333,427 @@ TEST(CcHeap, FuzzAllocFreeKeepsIntegrity) {
     for (size_t I = 0; I < Info.first; ++I)
       ASSERT_EQ(Bytes[I], static_cast<unsigned char>(Info.second));
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Placement parity: bitmap/flat-map CcHeap vs the seed implementation
+//===----------------------------------------------------------------------===//
+
+namespace seedref {
+
+/// Verbatim port of the pre-bitmap CcHeap: per-slot occupancy loops,
+/// std::unordered_map page and free-list tables. The parity tests drive
+/// this and the production heap with identical randomized sequences and
+/// require identical placements ((page ordinal, offset) per pointer) and
+/// identical HeapStats — the bitmaps and flat maps must change the
+/// speed, never the decisions.
+class SeedHeap {
+public:
+  explicit SeedHeap(HeapConfig ConfigIn = HeapConfig()) : Config(ConfigIn) {
+    BlocksPerPage = Config.PageBytes / Config.BlockBytes;
+  }
+  ~SeedHeap() {
+    for (void *Slab : Slabs)
+      std::free(Slab);
+  }
+  SeedHeap(const SeedHeap &) = delete;
+  SeedHeap &operator=(const SeedHeap &) = delete;
+
+  void *allocate(size_t Size) {
+    ++Stats.AllocCalls;
+    size_t Rounded = roundSize(Size);
+    Stats.BytesRequested += Size;
+    if (void *Reused = popFreeList(Rounded, 0))
+      return Reused;
+    if (HeaderBytes + Rounded > Config.BlockBytes)
+      return allocateLarge(Rounded);
+    return bumpAllocate(PlainCursor, Rounded);
+  }
+
+  void *allocateNear(size_t Size, const void *Near, CcStrategy Strategy) {
+    PageInfo *Page = Near ? findPage(Near) : nullptr;
+    if (!Page)
+      return allocate(Size);
+    ++Stats.AllocCalls;
+    ++Stats.NearCalls;
+    size_t Rounded = roundSize(Size);
+    Stats.BytesRequested += Size;
+    if (HeaderBytes + Rounded > Config.BlockBytes)
+      return allocateLarge(Rounded);
+    size_t Need = HeaderBytes + Rounded;
+    uint32_t NearBlock = static_cast<uint32_t>(
+        (addrOf(Near) - addrOf(Page->Base)) / Config.BlockBytes);
+    if (Page->Used[NearBlock] + Need <= Config.BlockBytes) {
+      ++Stats.SameBlock;
+      return carve(*Page, NearBlock, Rounded);
+    }
+    int64_t BlockIdx = findBlock(*Page, NearBlock, Rounded, Strategy);
+    if (BlockIdx >= 0) {
+      ++Stats.SamePage;
+      return carve(*Page, static_cast<uint32_t>(BlockIdx), Rounded);
+    }
+    if (void *Reused = popFreeList(Rounded, addrOf(Page->Base))) {
+      ++Stats.SamePage;
+      return Reused;
+    }
+    ++Stats.PageSpills;
+    while (!FreeBlockPool.empty()) {
+      auto [PoolPage, PoolIdx] = FreeBlockPool.back();
+      FreeBlockPool.pop_back();
+      if (PoolPage->Used[PoolIdx] == 0)
+        return carve(*PoolPage, PoolIdx, Rounded);
+    }
+    return bumpAllocate(SpillCursor, Rounded, /*EmptyBlockOnly=*/true);
+  }
+
+  void deallocate(void *Ptr) {
+    if (!Ptr)
+      return;
+    auto *Header = reinterpret_cast<ChunkHeader *>(
+        static_cast<char *>(Ptr) - HeaderBytes);
+    PageInfo *Page = findPage(Ptr);
+    size_t Need = HeaderBytes + Header->Size;
+    uint64_t Offset = addrOf(Ptr) - HeaderBytes - addrOf(Page->Base);
+    uint32_t BlockIdx = static_cast<uint32_t>(Offset / Config.BlockBytes);
+    Header->Magic = FreedMagic;
+    Stats.BytesLive -= Need;
+    ++Stats.FreeCalls;
+    Page->Live[BlockIdx] -= 1;
+    if (Page->Live[BlockIdx] == 0) {
+      uint32_t BlocksSpanned = static_cast<uint32_t>(
+          (Need + Config.BlockBytes - 1) / Config.BlockBytes);
+      for (uint32_t Idx = BlockIdx; Idx < BlockIdx + BlocksSpanned; ++Idx) {
+        Page->Used[Idx] = 0;
+        Page->Epoch[Idx] += 1;
+        FreeBlockPool.push_back({Page, Idx});
+      }
+      Page->ScanHint = std::min(Page->ScanHint, BlockIdx);
+      ++Stats.BlocksReclaimed;
+      return;
+    }
+    FreeLists[Header->Size].push_back({Ptr, Page->Epoch[BlockIdx]});
+  }
+
+  uint64_t pageOf(const void *Ptr) const {
+    const PageInfo *Page = findPage(Ptr);
+    return Page ? addrOf(Page->Base) : 0;
+  }
+
+  const HeapStats &stats() const { return Stats; }
+
+private:
+  struct PageInfo {
+    char *Base = nullptr;
+    std::vector<uint16_t> Used;
+    std::vector<uint16_t> Live;
+    std::vector<uint32_t> Epoch;
+    uint32_t ScanHint = 0;
+  };
+  struct FreeChunk {
+    void *Payload;
+    uint32_t Epoch;
+  };
+  struct ChunkHeader {
+    uint32_t Size;
+    uint32_t Magic;
+  };
+  static constexpr uint32_t HeaderMagic = 0xCCA110C8u;
+  static constexpr uint32_t FreedMagic = 0xDEADF9EEu;
+  static constexpr size_t HeaderBytes = sizeof(ChunkHeader);
+  static constexpr size_t SlabBytes = 1 << 20;
+
+  size_t roundSize(size_t Size) const {
+    if (Size == 0)
+      Size = 1;
+    return alignUp(Size, 8);
+  }
+
+  PageInfo *newPage() {
+    if (!SlabCursor || SlabCursor + Config.PageBytes > SlabEnd) {
+      void *Slab = std::aligned_alloc(SlabBytes, SlabBytes);
+      if (!Slab)
+        std::abort();
+      Slabs.push_back(Slab);
+      SlabCursor = static_cast<char *>(Slab);
+      SlabEnd = SlabCursor + SlabBytes;
+    }
+    char *Memory = SlabCursor;
+    SlabCursor += Config.PageBytes;
+    auto Page = std::make_unique<PageInfo>();
+    Page->Base = Memory;
+    Page->Used.assign(BlocksPerPage, 0);
+    Page->Live.assign(BlocksPerPage, 0);
+    Page->Epoch.assign(BlocksPerPage, 0);
+    PageInfo *Result = Page.get();
+    Pages.emplace(addrOf(Memory), std::move(Page));
+    ++Stats.PagesAllocated;
+    return Result;
+  }
+
+  PageInfo *findPage(const void *Ptr) const {
+    uint64_t Base = alignDown(addrOf(Ptr), Config.PageBytes);
+    auto It = Pages.find(Base);
+    return It == Pages.end() ? nullptr : It->second.get();
+  }
+
+  void *carve(PageInfo &Page, uint32_t BlockIdx, size_t Rounded) {
+    size_t Need = HeaderBytes + Rounded;
+    char *Chunk = Page.Base + size_t(BlockIdx) * Config.BlockBytes +
+                  Page.Used[BlockIdx];
+    Page.Used[BlockIdx] += static_cast<uint16_t>(Need);
+    Page.Live[BlockIdx] += 1;
+    auto *Header = reinterpret_cast<ChunkHeader *>(Chunk);
+    Header->Size = static_cast<uint32_t>(Rounded);
+    Header->Magic = HeaderMagic;
+    Stats.BytesLive += Need;
+    return Chunk + HeaderBytes;
+  }
+
+  void *bumpAllocate(PageInfo *&Cursor, size_t Rounded,
+                     bool EmptyBlockOnly = false) {
+    size_t Need = HeaderBytes + Rounded;
+    if (!Cursor)
+      Cursor = newPage();
+    for (;;) {
+      uint32_t Idx = Cursor->ScanHint;
+      while (Idx < BlocksPerPage &&
+             (EmptyBlockOnly
+                  ? Cursor->Used[Idx] != 0
+                  : Cursor->Used[Idx] + Need > Config.BlockBytes))
+        ++Idx;
+      if (Idx < BlocksPerPage) {
+        Cursor->ScanHint = Idx;
+        return carve(*Cursor, Idx, Rounded);
+      }
+      Cursor = newPage();
+    }
+  }
+
+  void *allocateLarge(size_t Rounded) {
+    size_t Need = HeaderBytes + Rounded;
+    uint32_t BlocksNeeded = static_cast<uint32_t>(
+        (Need + Config.BlockBytes - 1) / Config.BlockBytes);
+    PageInfo *Page = PlainCursor ? PlainCursor : newPage();
+    PlainCursor = Page;
+    uint32_t RunStart = 0;
+    uint32_t RunLen = 0;
+    bool Found = false;
+    for (uint32_t Idx = 0; Idx < BlocksPerPage; ++Idx) {
+      if (Page->Used[Idx] == 0) {
+        if (RunLen == 0)
+          RunStart = Idx;
+        if (++RunLen == BlocksNeeded) {
+          Found = true;
+          break;
+        }
+      } else {
+        RunLen = 0;
+      }
+    }
+    if (!Found) {
+      Page = newPage();
+      PlainCursor = Page;
+      RunStart = 0;
+    }
+    char *Chunk = Page->Base + size_t(RunStart) * Config.BlockBytes;
+    for (uint32_t Idx = RunStart; Idx < RunStart + BlocksNeeded; ++Idx)
+      Page->Used[Idx] = static_cast<uint16_t>(Config.BlockBytes);
+    Page->Live[RunStart] = 1;
+    auto *Header = reinterpret_cast<ChunkHeader *>(Chunk);
+    Header->Size = static_cast<uint32_t>(Rounded);
+    Header->Magic = HeaderMagic;
+    Stats.BytesLive += Need;
+    return Chunk + HeaderBytes;
+  }
+
+  bool chunkValid(const FreeChunk &Chunk) const {
+    const PageInfo *Page = findPage(Chunk.Payload);
+    uint64_t Offset =
+        addrOf(Chunk.Payload) - HeaderBytes - addrOf(Page->Base);
+    uint32_t BlockIdx = static_cast<uint32_t>(Offset / Config.BlockBytes);
+    return Page->Epoch[BlockIdx] == Chunk.Epoch;
+  }
+
+  void *popFreeList(size_t Rounded, uint64_t PageFilter) {
+    auto FreeIt = FreeLists.find(Rounded);
+    if (FreeIt == FreeLists.end())
+      return nullptr;
+    std::vector<FreeChunk> &Chunks = FreeIt->second;
+    while (!Chunks.empty() && !chunkValid(Chunks.back()))
+      Chunks.pop_back();
+    if (Chunks.empty())
+      return nullptr;
+    size_t Index = Chunks.size() - 1;
+    if (PageFilter != 0) {
+      size_t Scan = std::min<size_t>(Chunks.size(), 16);
+      bool Found = false;
+      for (size_t I = 0; I < Scan; ++I) {
+        size_t Candidate = Chunks.size() - 1 - I;
+        const FreeChunk &C = Chunks[Candidate];
+        if (alignDown(addrOf(C.Payload), Config.PageBytes) == PageFilter &&
+            chunkValid(C)) {
+          Index = Candidate;
+          Found = true;
+          break;
+        }
+      }
+      if (!Found)
+        return nullptr;
+    }
+    void *Payload = Chunks[Index].Payload;
+    Chunks.erase(Chunks.begin() + static_cast<ptrdiff_t>(Index));
+    auto *Header = reinterpret_cast<ChunkHeader *>(
+        static_cast<char *>(Payload) - HeaderBytes);
+    Header->Magic = HeaderMagic;
+    PageInfo *Page = findPage(Payload);
+    uint32_t BlockIdx = static_cast<uint32_t>(
+        (addrOf(Payload) - HeaderBytes - addrOf(Page->Base)) /
+        Config.BlockBytes);
+    Page->Live[BlockIdx] += 1;
+    Stats.BytesLive += HeaderBytes + Rounded;
+    ++Stats.FreeListReuses;
+    return Payload;
+  }
+
+  int64_t findBlock(const PageInfo &Page, uint32_t NearBlock, size_t Rounded,
+                    CcStrategy Strategy) const {
+    size_t Need = HeaderBytes + Rounded;
+    auto Fits = [&](uint32_t Idx) {
+      return Page.Used[Idx] + Need <= Config.BlockBytes;
+    };
+    switch (Strategy) {
+    case CcStrategy::Closest:
+      for (uint32_t Dist = 1; Dist < BlocksPerPage; ++Dist) {
+        if (NearBlock >= Dist && Fits(NearBlock - Dist))
+          return NearBlock - Dist;
+        if (NearBlock + Dist < BlocksPerPage && Fits(NearBlock + Dist))
+          return NearBlock + Dist;
+      }
+      return -1;
+    case CcStrategy::FirstFit:
+      for (uint32_t Idx = 0; Idx < BlocksPerPage; ++Idx)
+        if (Fits(Idx))
+          return Idx;
+      return -1;
+    case CcStrategy::NewBlock:
+      for (uint32_t Idx = 0; Idx < BlocksPerPage; ++Idx)
+        if (Page.Used[Idx] == 0)
+          return Idx;
+      return -1;
+    }
+    return -1;
+  }
+
+  HeapConfig Config;
+  HeapStats Stats;
+  uint32_t BlocksPerPage = 0;
+  std::unordered_map<uint64_t, std::unique_ptr<PageInfo>> Pages;
+  std::unordered_map<size_t, std::vector<FreeChunk>> FreeLists;
+  PageInfo *PlainCursor = nullptr;
+  PageInfo *SpillCursor = nullptr;
+  std::vector<std::pair<PageInfo *, uint32_t>> FreeBlockPool;
+  std::vector<void *> Slabs;
+  char *SlabCursor = nullptr;
+  char *SlabEnd = nullptr;
+};
+
+/// Address-translation-invariant placement key: (page ordinal by first
+/// appearance, offset within page). Two heaps place identically iff
+/// their pointer streams translate to the same key stream.
+struct PlacementTracker {
+  std::unordered_map<uint64_t, size_t> Ordinals;
+  std::pair<size_t, uint64_t> key(const void *Ptr, uint64_t PageBase) {
+    auto [It, Inserted] = Ordinals.try_emplace(PageBase, Ordinals.size());
+    (void)Inserted;
+    return {It->second, addrOf(Ptr) - PageBase};
+  }
+};
+
+void expectStatsEqual(const HeapStats &A, const HeapStats &B) {
+  EXPECT_EQ(A.AllocCalls, B.AllocCalls);
+  EXPECT_EQ(A.NearCalls, B.NearCalls);
+  EXPECT_EQ(A.FreeCalls, B.FreeCalls);
+  EXPECT_EQ(A.SameBlock, B.SameBlock);
+  EXPECT_EQ(A.SamePage, B.SamePage);
+  EXPECT_EQ(A.PageSpills, B.PageSpills);
+  EXPECT_EQ(A.FreeListReuses, B.FreeListReuses);
+  EXPECT_EQ(A.BlocksReclaimed, B.BlocksReclaimed);
+  EXPECT_EQ(A.BytesRequested, B.BytesRequested);
+  EXPECT_EQ(A.BytesLive, B.BytesLive);
+  EXPECT_EQ(A.PagesAllocated, B.PagesAllocated);
+}
+
+/// Drives CcHeap and SeedHeap through one identical randomized
+/// alloc/free/near sequence and requires identical placement keys for
+/// every returned pointer plus identical HeapStats.
+void runParityWorkload(CcStrategy Strategy, uint64_t Seed, size_t Ops) {
+  CcHeap Heap;
+  SeedHeap Ref;
+  PlacementTracker HeapPages, RefPages;
+  // Parallel live sets; identical placement keeps the indices aligned.
+  std::vector<void *> HeapLive, RefLive;
+  Xoshiro256 Rng(Seed);
+
+  for (size_t Op = 0; Op < Ops; ++Op) {
+    uint64_t Roll = Rng.nextBounded(10);
+    if (Roll < 3 && !HeapLive.empty()) { // Free a random live chunk.
+      size_t Victim = Rng.nextBounded(HeapLive.size());
+      Heap.deallocate(HeapLive[Victim]);
+      Ref.deallocate(RefLive[Victim]);
+      HeapLive[Victim] = HeapLive.back();
+      HeapLive.pop_back();
+      RefLive[Victim] = RefLive.back();
+      RefLive.pop_back();
+      continue;
+    }
+    // Mixed sizes: mostly block-sharing, occasionally multi-block runs.
+    static constexpr size_t SizeTable[] = {8,  13, 16, 24,  24,  40,
+                                           56, 56, 90, 200, 700};
+    size_t Bytes = SizeTable[Rng.nextBounded(11)];
+    void *HeapPtr, *RefPtr;
+    if (Roll < 8 && !HeapLive.empty()) { // Hinted allocation.
+      size_t Hint = Rng.nextBounded(HeapLive.size());
+      HeapPtr = Heap.allocateNear(Bytes, HeapLive[Hint], Strategy);
+      RefPtr = Ref.allocateNear(Bytes, RefLive[Hint], Strategy);
+    } else {
+      HeapPtr = Heap.allocate(Bytes);
+      RefPtr = Ref.allocate(Bytes);
+    }
+    ASSERT_EQ(HeapPages.key(HeapPtr, Heap.pageOf(HeapPtr)),
+              RefPages.key(RefPtr, Ref.pageOf(RefPtr)))
+        << "placement diverged at op " << Op << " (size " << Bytes
+        << ", strategy " << strategyName(Strategy) << ")";
+    HeapLive.push_back(HeapPtr);
+    RefLive.push_back(RefPtr);
+  }
+  expectStatsEqual(Heap.stats(), Ref.stats());
+}
+
+} // namespace seedref
+
+TEST(CcHeapParity, ClosestMatchesSeedImplementation) {
+  seedref::runParityWorkload(CcStrategy::Closest, 0xC105E57ULL, 6000);
+}
+
+TEST(CcHeapParity, NewBlockMatchesSeedImplementation) {
+  seedref::runParityWorkload(CcStrategy::NewBlock, 0x9E3B10CULL, 6000);
+}
+
+TEST(CcHeapParity, FirstFitMatchesSeedImplementation) {
+  seedref::runParityWorkload(CcStrategy::FirstFit, 0xF127F17ULL, 6000);
+}
+
+TEST(CcHeapParity, NullAndForeignHintsMatchSeed) {
+  // Null hints degrade to the plain path in both implementations.
+  CcHeap Heap;
+  seedref::SeedHeap Ref;
+  seedref::PlacementTracker HeapPages, RefPages;
+  for (size_t I = 0; I < 200; ++I) {
+    size_t Bytes = 8 + 8 * (I % 7);
+    void *HeapPtr = Heap.allocateNear(Bytes, nullptr, CcStrategy::Closest);
+    void *RefPtr = Ref.allocateNear(Bytes, nullptr, CcStrategy::Closest);
+    ASSERT_EQ(HeapPages.key(HeapPtr, Heap.pageOf(HeapPtr)),
+              RefPages.key(RefPtr, Ref.pageOf(RefPtr)));
+  }
+  seedref::expectStatsEqual(Heap.stats(), Ref.stats());
 }
