@@ -21,6 +21,7 @@
 #include "model/CTreeModel.h"
 #include "sim/AccessPolicy.h"
 #include "support/Random.h"
+#include "support/SweepRunner.h"
 #include "trees/BinaryTree.h"
 #include "trees/CTree.h"
 #include "trees/CompactTree.h"
@@ -33,18 +34,79 @@ using namespace ccl::trees;
 
 namespace {
 
-/// Warm the cache, then measure a steady-state search window.
-template <typename SearchFn>
-uint64_t steadyCycles(uint64_t NumKeys, unsigned Warmup, unsigned Window,
-                      const sim::HierarchyConfig &Config, SearchFn &&Search) {
+/// The four structures measured per tree size; each is one independent
+/// sweep cell.
+enum StructKind { Random64, CTree64, CompactRandom, CompactCTree };
+constexpr size_t NumStructKinds = 4;
+
+/// One cell's recorded access stream: warmup searches, a prefix mark,
+/// then the measured window.
+struct CellTrace {
+  sim::TraceBuffer Buf;
+  size_t WarmupRecords = 0;
+};
+
+/// Records one cell's warmup+window search stream (native traversal, no
+/// simulation). Recording runs serially in the main thread so the
+/// captured addresses — and therefore the simulated set indices after
+/// the first-touch remap — do not depend on how concurrently-built
+/// trees would have interleaved their heap allocations; the tree itself
+/// is freed on return, leaving only the compact trace.
+CellTrace recordCell(unsigned TreeBits, StructKind Kind, unsigned Warmup,
+                     unsigned Window, const CacheParams &Params) {
+  uint64_t NumKeys = (1ULL << TreeBits) - 1;
+  CellTrace Trace;
+  sim::RecordAccess A(Trace.Buf);
+  auto Drive = [&](auto &&Search) {
+    Xoshiro256 Rng(0xF1'0A11ULL);
+    for (unsigned I = 0; I < Warmup; ++I)
+      Search(BinarySearchTree::keyAt(Rng.nextBounded(NumKeys)), A);
+    Trace.WarmupRecords = Trace.Buf.records();
+    for (unsigned I = 0; I < Window; ++I)
+      Search(BinarySearchTree::keyAt(Rng.nextBounded(NumKeys)), A);
+    Trace.Buf.seal();
+  };
+  switch (Kind) {
+  case Random64: {
+    auto Random = BinarySearchTree::build(NumKeys, LayoutScheme::Random);
+    Drive([&](uint32_t Key, auto &P) { Random.search(Key, P); });
+    break;
+  }
+  case CTree64: {
+    CTree Ctree(Params);
+    {
+      auto Source = BinarySearchTree::build(NumKeys, LayoutScheme::Random);
+      Ctree.adopt(Source.root());
+    }
+    Drive([&](uint32_t Key, auto &P) { Ctree.search(Key, P); });
+    break;
+  }
+  case CompactRandom: {
+    CompactTree CRandom = CompactTree::build(NumKeys, Params,
+                                             LayoutScheme::Random, false);
+    Drive([&](uint32_t Key, auto &P) { CRandom.contains(Key, P); });
+    break;
+  }
+  case CompactCTree: {
+    CompactTree CCtree = CompactTree::build(NumKeys, Params,
+                                            LayoutScheme::Subtree, true);
+    Drive([&](uint32_t Key, auto &P) { CCtree.contains(Key, P); });
+    break;
+  }
+  }
+  return Trace;
+}
+
+/// Replays a recorded cell: warm the cache with the warmup prefix, then
+/// measure the steady-state window — the bounded-cursor phasing the
+/// trace engine exists for.
+uint64_t replayCell(const CellTrace &Trace,
+                    const sim::HierarchyConfig &Config) {
   sim::MemoryHierarchy M(Config);
-  sim::SimAccess A(M);
-  Xoshiro256 Rng(0xF1'0A11ULL);
-  for (unsigned I = 0; I < Warmup; ++I)
-    Search(BinarySearchTree::keyAt(Rng.nextBounded(NumKeys)), A);
+  sim::TraceCursor Cursor(Trace.Buf.view());
+  M.replay(Cursor, Trace.WarmupRecords);
   uint64_t Start = M.now();
-  for (unsigned I = 0; I < Window; ++I)
-    Search(BinarySearchTree::keyAt(Rng.nextBounded(NumKeys)), A);
+  M.replay(Cursor, Trace.Buf.records() - Trace.WarmupRecords);
   return M.now() - Start;
 }
 
@@ -78,54 +140,63 @@ int main(int Argc, char **Argv) {
               "pointers make our node 24 bytes)\n\n",
               NodesPerBlock);
 
+  // Record once, replay many: each (tree size, structure) cell's search
+  // stream is recorded serially (deterministic allocation order, so the
+  // captured addresses never depend on thread interleaving), then every
+  // cell replays its warmup+window recording through its own cold
+  // hierarchy on a SweepRunner worker. Replays consume only the sealed
+  // buffers, so the grid is byte-identical to the serial simulating
+  // sweep this replaced, at any thread count.
+  std::vector<CellTrace> Traces;
+  Traces.reserve(Bits.size() * NumStructKinds);
+  for (size_t Cell = 0; Cell < Bits.size() * NumStructKinds; ++Cell)
+    Traces.push_back(recordCell(Bits[Cell / NumStructKinds],
+                                StructKind(Cell % NumStructKinds), Warmup,
+                                Window, Params));
+  std::vector<uint64_t> Cycles(Traces.size());
+  SweepRunner Runner;
+  Runner.run(Cycles.size(),
+             [&](size_t Cell) { Cycles[Cell] = replayCell(Traces[Cell], Config); });
+
+  bench::BenchJson Json("fig10", Full);
   TablePrinter Table({"tree keys", "D=log2(n+1)", "Rs(k=2)",
                       "predicted k=2", "measured k=2", "predicted k=4",
                       "measured k=4 (compact)"});
-  for (unsigned B : Bits) {
-    uint64_t NumKeys = (1ULL << B) - 1;
-    auto Random = BinarySearchTree::build(NumKeys, LayoutScheme::Random);
-    CTree Ctree(Params);
-    {
-      auto Source = BinarySearchTree::build(NumKeys, LayoutScheme::Random);
-      Ctree.adopt(Source.root());
-    }
-
-    uint64_t RandomCycles = steadyCycles(
-        NumKeys, Warmup, Window, Config,
-        [&](uint32_t Key, auto &A) { Random.search(Key, A); });
-    uint64_t CtreeCycles = steadyCycles(
-        NumKeys, Warmup, Window, Config,
-        [&](uint32_t Key, auto &A) { Ctree.search(Key, A); });
-    double Measured = double(RandomCycles) / double(CtreeCycles);
+  for (size_t I = 0; I < Bits.size(); ++I) {
+    uint64_t NumKeys = (1ULL << Bits[I]) - 1;
+    const uint64_t *Cell = &Cycles[I * NumStructKinds];
+    double Measured = double(Cell[Random64]) / double(Cell[CTree64]);
 
     model::CTreeModel Model(NumKeys, Params, NodesPerBlock);
     double Predicted = Model.predictedSpeedup(Timings);
 
     // The paper's SPARC-32 regime (k = 3 there; k = 4 with our 16-byte
     // compact nodes).
-    CompactTree CRandom = CompactTree::build(NumKeys, Params,
-                                             LayoutScheme::Random, false);
-    CompactTree CCtree = CompactTree::build(NumKeys, Params,
-                                            LayoutScheme::Subtree, true);
-    uint64_t CRandomCycles = steadyCycles(
-        NumKeys, Warmup, Window, Config,
-        [&](uint32_t Key, auto &A) { CRandom.contains(Key, A); });
-    uint64_t CCtreeCycles = steadyCycles(
-        NumKeys, Warmup, Window, Config,
-        [&](uint32_t Key, auto &A) { CCtree.contains(Key, A); });
-    double CMeasured = double(CRandomCycles) / double(CCtreeCycles);
+    double CMeasured =
+        double(Cell[CompactRandom]) / double(Cell[CompactCTree]);
     model::CTreeModel CModel(
         NumKeys, Params,
         std::max<uint64_t>(1, Params.BlockBytes / sizeof(CompactBstNode)));
+    double CPredicted = CModel.predictedSpeedup(Timings);
 
     Table.addRow({TablePrinter::fmtInt(NumKeys),
                   TablePrinter::fmt(Model.accessFunctionD(), 2),
                   TablePrinter::fmt(Model.reuseRs(), 2),
                   TablePrinter::fmt(Predicted, 2) + "x",
                   TablePrinter::fmt(Measured, 2) + "x",
-                  TablePrinter::fmt(CModel.predictedSpeedup(Timings), 2) +
-                      "x",
+                  TablePrinter::fmt(CPredicted, 2) + "x",
                   TablePrinter::fmt(CMeasured, 2) + "x"});
+
+    Json.beginResult("ctree_speedup");
+    Json.integer("tree_keys", NumKeys);
+    Json.num("predicted_k2", Predicted);
+    Json.num("measured_k2", Measured);
+    Json.num("predicted_k4", CPredicted);
+    Json.num("measured_k4", CMeasured);
+    Json.integer("random_cycles", Cell[Random64]);
+    Json.integer("ctree_cycles", Cell[CTree64]);
+    Json.integer("compact_random_cycles", Cell[CompactRandom]);
+    Json.integer("compact_ctree_cycles", Cell[CompactCTree]);
   }
   Table.print();
   std::printf("\nPaper shape to check: both curves decline as the tree "
@@ -135,5 +206,6 @@ int main(int Argc, char **Argv) {
               "resident, so the prediction overshoots here where the\n"
               "paper's real-machine baseline (heavier TLB and memory "
               "system penalties) made it undershoot by ~15%%.\n");
+  Json.writeIfRequested(bench::benchOutPath(Argc, Argv));
   return 0;
 }

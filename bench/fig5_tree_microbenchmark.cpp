@@ -15,6 +15,17 @@
 // colored hot region warms up — the amortized miss-rate behaviour of
 // Section 5.1.
 //
+// Measurement structure (record once, replay many): every sweep point's
+// search stream is seeded identically, so the 10-search stream is a
+// prefix of the 100-search stream and so on up to the largest count.
+// Each tree organization is therefore traversed natively exactly once —
+// recording its largest-count access stream into a sim::TraceBuffer —
+// and every (organization x count) cell replays a prefix of that
+// recording through a fresh, cold MemoryHierarchy on a SweepRunner
+// worker. Replay preserves recorded order, so the canonical first-touch
+// address remap and all statistics are bit-identical to the serial
+// re-executing implementation this replaced.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
@@ -24,12 +35,14 @@
 #include "sim/AccessPolicy.h"
 #include "trees/CompactTree.h"
 #include "support/Random.h"
+#include "support/SweepRunner.h"
 #include "support/Timer.h"
 #include "trees/BTree.h"
 #include "trees/BinaryTree.h"
 #include "trees/CTree.h"
 
 #include <cinttypes>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -44,36 +57,97 @@ struct SearchSeries {
   std::vector<double> NanosPerSearch;
 };
 
-/// Runs the cold-start sweep for one search implementation.
-template <typename SearchFn>
-SearchSeries measure(const std::string &Name, uint64_t NumKeys,
-                     const std::vector<uint64_t> &SearchCounts,
-                     const sim::HierarchyConfig &Config, SearchFn &&Search) {
-  SearchSeries Series;
-  Series.Name = Name;
-  for (uint64_t Count : SearchCounts) {
-    // Simulated cycles, cold cache.
-    sim::MemoryHierarchy M(Config);
-    sim::SimAccess A(M);
-    Xoshiro256 Rng(0xF16'5EEDULL);
-    for (uint64_t I = 0; I < Count; ++I)
-      Search(BinarySearchTree::keyAt(Rng.nextBounded(NumKeys)), A);
-    Series.CyclesPerSearch.push_back(double(M.now()) / double(Count));
+/// One tree organization to sweep: a name plus the search entry point
+/// instantiated for the recording and native policies.
+struct SeriesDef {
+  std::string Name;
+  std::function<bool(uint32_t, sim::RecordAccess &)> RecordSearch;
+  std::function<bool(uint32_t, sim::NativeAccess &)> NativeSearch;
+};
 
-    // Native wall time over the same key sequence; accumulate the hit
-    // count into a volatile sink so the searches cannot be optimized
-    // away.
-    sim::NativeAccess NA;
-    Xoshiro256 Rng2(0xF16'5EEDULL);
-    Timer T;
-    uint64_t Hits = 0;
-    for (uint64_t I = 0; I < Count; ++I)
-      Hits += Search(BinarySearchTree::keyAt(Rng2.nextBounded(NumKeys)), NA);
-    static volatile uint64_t Sink;
-    Sink = Hits;
-    (void)Sink;
-    Series.NanosPerSearch.push_back(double(T.elapsedNs()) / double(Count));
+/// Wraps one generic search lambda (templated over the access policy)
+/// as a SeriesDef. The indirection costs one call per *search*, not per
+/// simulated access.
+template <typename SearchFn>
+SeriesDef makeSeries(std::string Name, SearchFn Search) {
+  return {std::move(Name),
+          [Search](uint32_t Key, sim::RecordAccess &A) {
+            return Search(Key, A);
+          },
+          [Search](uint32_t Key, sim::NativeAccess &A) {
+            return Search(Key, A);
+          }};
+}
+
+/// Runs the cold-start sweep for a set of tree organizations:
+///  1. record each organization's largest-count access stream once
+///     (native traversal, no simulation) with per-count prefix marks,
+///  2. replay every (organization x count) prefix through a fresh
+///     hierarchy, fanned out across SweepRunner workers,
+///  3. measure native wall time serially (timing must not run under
+///     parallel load), exactly as the live implementation did.
+std::vector<SearchSeries>
+measureAll(const std::vector<SeriesDef> &Defs, uint64_t NumKeys,
+           const std::vector<uint64_t> &SearchCounts,
+           const sim::HierarchyConfig &Config) {
+  size_t Counts = SearchCounts.size();
+  std::vector<sim::TraceBuffer> Traces(Defs.size());
+  std::vector<std::vector<size_t>> Prefixes(Defs.size());
+  SweepRunner Runner;
+
+  // Record once per organization (cells share the read-only trees).
+  Runner.run(Defs.size(), [&](size_t S) {
+    sim::RecordAccess RA(Traces[S]);
+    Xoshiro256 Rng(0xF16'5EEDULL);
+    uint64_t MaxCount = SearchCounts.back();
+    size_t NextCount = 0;
+    for (uint64_t I = 0; I < MaxCount; ++I) {
+      Defs[S].RecordSearch(BinarySearchTree::keyAt(Rng.nextBounded(NumKeys)),
+                           RA);
+      while (NextCount < Counts && SearchCounts[NextCount] == I + 1) {
+        Prefixes[S].push_back(Traces[S].records());
+        ++NextCount;
+      }
+    }
+    Traces[S].seal();
+  });
+
+  // Replay prefixes: one cell per (organization, count), each with its
+  // own cold hierarchy — results identical cell-for-cell to the serial
+  // re-executing sweep.
+  std::vector<SearchSeries> Series(Defs.size());
+  for (size_t S = 0; S < Defs.size(); ++S) {
+    Series[S].Name = Defs[S].Name;
+    Series[S].CyclesPerSearch.resize(Counts);
+    Series[S].NanosPerSearch.resize(Counts);
   }
+  Runner.run(Defs.size() * Counts, [&](size_t Cell) {
+    size_t S = Cell / Counts;
+    size_t C = Cell % Counts;
+    sim::MemoryHierarchy M(Config);
+    M.replay(Traces[S].prefix(Prefixes[S][C]));
+    Series[S].CyclesPerSearch[C] =
+        double(M.now()) / double(SearchCounts[C]);
+  });
+
+  // Native wall time over the same key sequence; accumulate the hit
+  // count into a volatile sink so the searches cannot be optimized
+  // away.
+  for (size_t S = 0; S < Defs.size(); ++S)
+    for (size_t C = 0; C < Counts; ++C) {
+      sim::NativeAccess NA;
+      Xoshiro256 Rng2(0xF16'5EEDULL);
+      Timer T;
+      uint64_t Hits = 0;
+      for (uint64_t I = 0; I < SearchCounts[C]; ++I)
+        Hits += Defs[S].NativeSearch(
+            BinarySearchTree::keyAt(Rng2.nextBounded(NumKeys)), NA);
+      static volatile uint64_t Sink;
+      Sink = Hits;
+      (void)Sink;
+      Series[S].NanosPerSearch[C] =
+          double(T.elapsedNs()) / double(SearchCounts[C]);
+    }
   return Series;
 }
 
@@ -114,23 +188,24 @@ int main(int Argc, char **Argv) {
     Ctree.adopt(Source.root());
   }
 
-  std::vector<SearchSeries> Series;
-  Series.push_back(measure("random binary tree", NumKeys, SearchCounts,
-                           Config, [&](uint32_t Key, auto &A) {
-                             return RandomTree.search(Key, A) != nullptr;
-                           }));
-  Series.push_back(measure("depth-first binary tree", NumKeys, SearchCounts,
-                           Config, [&](uint32_t Key, auto &A) {
-                             return DfsTree.search(Key, A) != nullptr;
-                           }));
-  Series.push_back(measure("in-core B-tree", NumKeys, SearchCounts, Config,
-                           [&](uint32_t Key, auto &A) {
-                             return Btree.contains(Key, A);
-                           }));
-  Series.push_back(measure("transparent C-tree", NumKeys, SearchCounts,
-                           Config, [&](uint32_t Key, auto &A) {
-                             return Ctree.search(Key, A) != nullptr;
-                           }));
+  std::vector<SeriesDef> Defs;
+  Defs.push_back(makeSeries("random binary tree",
+                            [&](uint32_t Key, auto &A) {
+                              return RandomTree.search(Key, A) != nullptr;
+                            }));
+  Defs.push_back(makeSeries("depth-first binary tree",
+                            [&](uint32_t Key, auto &A) {
+                              return DfsTree.search(Key, A) != nullptr;
+                            }));
+  Defs.push_back(makeSeries("in-core B-tree", [&](uint32_t Key, auto &A) {
+    return Btree.contains(Key, A);
+  }));
+  Defs.push_back(makeSeries("transparent C-tree",
+                            [&](uint32_t Key, auto &A) {
+                              return Ctree.search(Key, A) != nullptr;
+                            }));
+  std::vector<SearchSeries> Series =
+      measureAll(Defs, NumKeys, SearchCounts, Config);
 
   TablePrinter Cycles({"searches", Series[0].Name, Series[1].Name,
                        Series[2].Name, Series[3].Name});
@@ -282,28 +357,29 @@ int main(int Argc, char **Argv) {
                                           LayoutScheme::Subtree,
                                           /*Color=*/true);
 
-  std::vector<SearchSeries> CSeries;
-  CSeries.push_back(measure("random binary tree", NumKeys, SearchCounts,
-                            Config, [&](uint32_t Key, auto &A) {
-                              return CRandom.contains(Key, A);
-                            }));
-  CSeries.push_back(measure("depth-first binary tree", NumKeys,
-                            SearchCounts, Config,
-                            [&](uint32_t Key, auto &A) {
-                              return CDfs.contains(Key, A);
-                            }));
-  CSeries.push_back(measure("B-tree (fill .69)", NumKeys, SearchCounts,
-                            Config, [&](uint32_t Key, auto &A) {
-                              return CBtree.contains(Key, A);
-                            }));
-  CSeries.push_back(measure("B-tree (fill .50)", NumKeys, SearchCounts,
-                            Config, [&](uint32_t Key, auto &A) {
-                              return CBtreeHalf.contains(Key, A);
-                            }));
-  CSeries.push_back(measure("transparent C-tree", NumKeys, SearchCounts,
-                            Config, [&](uint32_t Key, auto &A) {
-                              return CCtree.contains(Key, A);
-                            }));
+  std::vector<SeriesDef> CDefs;
+  CDefs.push_back(makeSeries("random binary tree",
+                             [&](uint32_t Key, auto &A) {
+                               return CRandom.contains(Key, A);
+                             }));
+  CDefs.push_back(makeSeries("depth-first binary tree",
+                             [&](uint32_t Key, auto &A) {
+                               return CDfs.contains(Key, A);
+                             }));
+  CDefs.push_back(makeSeries("B-tree (fill .69)",
+                             [&](uint32_t Key, auto &A) {
+                               return CBtree.contains(Key, A);
+                             }));
+  CDefs.push_back(makeSeries("B-tree (fill .50)",
+                             [&](uint32_t Key, auto &A) {
+                               return CBtreeHalf.contains(Key, A);
+                             }));
+  CDefs.push_back(makeSeries("transparent C-tree",
+                             [&](uint32_t Key, auto &A) {
+                               return CCtree.contains(Key, A);
+                             }));
+  std::vector<SearchSeries> CSeries =
+      measureAll(CDefs, NumKeys, SearchCounts, Config);
 
   TablePrinter CCycles({"searches", CSeries[0].Name, CSeries[1].Name,
                         CSeries[2].Name, CSeries[3].Name,

@@ -24,6 +24,7 @@
 #include "bench/BenchCommon.h"
 #include "raytrace/Raytrace.h"
 #include "support/Random.h"
+#include "support/SweepRunner.h"
 
 #include <cinttypes>
 #include <vector>
@@ -100,16 +101,54 @@ int main(int Argc, char **Argv) {
   RC.MaxDepth = 9;
   RC.LeafCapacity = 4;
 
+  unsigned QueensN = Full ? 8 : 7;
+  uint64_t Evals = Full ? 400000 : 200000;
+
+  // Simulated cells — three raytrace layouts and four VIS allocator
+  // configurations — are independent (each builds its own scene/heap and
+  // drives its own hierarchy), so they fan out across SweepRunner
+  // workers into preallocated slots. The native raytrace runs are real
+  // wall-clock measurements and stay serial, after the parallel phase,
+  // so they never time under load. Presentation below reads the slots in
+  // the original serial order.
+  constexpr raytrace::RtLayout RtLayouts[] = {
+      raytrace::RtLayout::Base, raytrace::RtLayout::Cluster,
+      raytrace::RtLayout::ClusterColor};
+  constexpr size_t NumRt = std::size(RtLayouts);
+  struct VisCell {
+    bool UseCcMalloc;
+    heap::CcStrategy Strategy;
+    uint64_t Cycles = 0;
+    uint64_t Checksum = 0, Nodes = 0, Footprint = 0;
+  };
+  VisCell VisCells[] = {{false, heap::CcStrategy::NewBlock},
+                        {true, heap::CcStrategy::NewBlock},
+                        {true, heap::CcStrategy::Closest},
+                        {true, heap::CcStrategy::FirstFit}};
+  constexpr size_t NumVis = std::size(VisCells);
+
+  std::vector<raytrace::RtResult> RtSim(NumRt);
+  SweepRunner Runner;
+  Runner.run(NumRt + NumVis, [&](size_t Cell) {
+    if (Cell < NumRt) {
+      RtSim[Cell] = raytrace::runRaytrace(RC, RtLayouts[Cell], &Config);
+      return;
+    }
+    VisCell &V = VisCells[Cell - NumRt];
+    V.Cycles = runVisWorkload(V.UseCcMalloc, V.Strategy, QueensN, Evals,
+                              Config, V.Checksum, V.Nodes, V.Footprint);
+  });
+
   std::printf("RADIANCE substitute: octree over %u spheres, %u rays\n",
               RC.NumSpheres, RC.NumRays);
   TablePrinter Rad({"layout", "norm time", "cycles", "L2 misses",
                     "native ms", "checksum ok"});
   double RadBase = 0;
   uint64_t RadChecksum = 0;
-  for (raytrace::RtLayout L :
-       {raytrace::RtLayout::Base, raytrace::RtLayout::Cluster,
-        raytrace::RtLayout::ClusterColor}) {
-    raytrace::RtResult Sim = raytrace::runRaytrace(RC, L, &Config);
+  bench::BenchJson Json("fig6", Full);
+  for (size_t I = 0; I < NumRt; ++I) {
+    raytrace::RtLayout L = RtLayouts[I];
+    const raytrace::RtResult &Sim = RtSim[I];
     raytrace::RtResult Native = raytrace::runRaytrace(RC, L, nullptr);
     double Total = double(Sim.Stats.totalCycles());
     if (L == raytrace::RtLayout::Base) {
@@ -126,42 +165,57 @@ int main(int Argc, char **Argv) {
                   "clustering+coloring)\n",
                   raytrace::rtLayoutName(L),
                   bench::speedupStr(RadBase, Total).c_str());
+    Json.beginResult("radiance");
+    Json.str("layout", raytrace::rtLayoutName(L));
+    Json.num("norm_time", 100.0 * Total / RadBase);
+    Json.integer("total_cycles", Sim.Stats.totalCycles());
+    Json.integer("l2_misses", Sim.Stats.L2Misses);
+    Json.num("native_ms", Native.NativeSeconds * 1000);
+    Json.integer("checksum_ok", Sim.Checksum == RadChecksum ? 1 : 0);
   }
   Rad.print();
 
   //===------------------------------------------------------------------===//
   // VIS substitute: BDD package.
   //===------------------------------------------------------------------===//
-  unsigned QueensN = Full ? 8 : 7;
-  uint64_t Evals = Full ? 400000 : 200000;
   std::printf("\nVIS substitute: BDD %u-queens + %u-bit adder equivalence "
               "+ %" PRIu64 " evaluations\n",
               QueensN, QueensN * QueensN / 2, Evals);
 
   TablePrinter Vis({"allocator", "norm time", "cycles", "BDD nodes",
                     "heap KB", "checksum ok"});
-  uint64_t BaseChecksum = 0, Checksum = 0, Nodes = 0, Footprint = 0;
-  uint64_t BaseCycles = runVisWorkload(false, heap::CcStrategy::NewBlock,
-                                       QueensN, Evals, Config, BaseChecksum,
-                                       Nodes, Footprint);
-  Vis.addRow({"malloc (base)", "100.0%", TablePrinter::fmtInt(BaseCycles),
-              TablePrinter::fmtInt(Nodes),
-              TablePrinter::fmtInt(Footprint / 1024), "yes"});
-  for (heap::CcStrategy S :
-       {heap::CcStrategy::NewBlock, heap::CcStrategy::Closest,
-        heap::CcStrategy::FirstFit}) {
-    uint64_t Cycles = runVisWorkload(true, S, QueensN, Evals, Config,
-                                     Checksum, Nodes, Footprint);
-    Vis.addRow({std::string("ccmalloc ") + heap::strategyName(S),
-                bench::pct(double(Cycles), double(BaseCycles)),
-                TablePrinter::fmtInt(Cycles), TablePrinter::fmtInt(Nodes),
-                TablePrinter::fmtInt(Footprint / 1024),
-                Checksum == BaseChecksum ? "yes" : "NO!"});
-    if (S == heap::CcStrategy::NewBlock)
+  const VisCell &Base = VisCells[0];
+  Vis.addRow({"malloc (base)", "100.0%", TablePrinter::fmtInt(Base.Cycles),
+              TablePrinter::fmtInt(Base.Nodes),
+              TablePrinter::fmtInt(Base.Footprint / 1024), "yes"});
+  Json.beginResult("vis");
+  Json.str("allocator", "malloc");
+  Json.num("norm_time", 100.0);
+  Json.integer("total_cycles", Base.Cycles);
+  Json.integer("bdd_nodes", Base.Nodes);
+  Json.integer("heap_bytes", Base.Footprint);
+  Json.integer("checksum_ok", 1);
+  for (size_t I = 1; I < NumVis; ++I) {
+    const VisCell &V = VisCells[I];
+    Vis.addRow({std::string("ccmalloc ") + heap::strategyName(V.Strategy),
+                bench::pct(double(V.Cycles), double(Base.Cycles)),
+                TablePrinter::fmtInt(V.Cycles),
+                TablePrinter::fmtInt(V.Nodes),
+                TablePrinter::fmtInt(V.Footprint / 1024),
+                V.Checksum == Base.Checksum ? "yes" : "NO!"});
+    if (V.Strategy == heap::CcStrategy::NewBlock)
       std::printf("ccmalloc-new-block speedup: %s (paper: 1.27x / 27%%)\n",
-                  bench::speedupStr(double(BaseCycles), double(Cycles))
+                  bench::speedupStr(double(Base.Cycles), double(V.Cycles))
                       .c_str());
+    Json.beginResult("vis");
+    Json.str("allocator", heap::strategyName(V.Strategy));
+    Json.num("norm_time", 100.0 * double(V.Cycles) / double(Base.Cycles));
+    Json.integer("total_cycles", V.Cycles);
+    Json.integer("bdd_nodes", V.Nodes);
+    Json.integer("heap_bytes", V.Footprint);
+    Json.integer("checksum_ok", V.Checksum == Base.Checksum ? 1 : 0);
   }
   Vis.print();
+  Json.writeIfRequested(bench::benchOutPath(Argc, Argv));
   return 0;
 }

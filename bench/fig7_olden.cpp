@@ -24,6 +24,7 @@
 #include "olden/Mst.h"
 #include "olden/Perimeter.h"
 #include "olden/TreeAdd.h"
+#include "support/SweepRunner.h"
 
 #include <functional>
 #include <vector>
@@ -107,7 +108,20 @@ int main(int Argc, char **Argv) {
   sim::HierarchyConfig Config = sim::HierarchyConfig::rsimTable1();
   bench::BenchJson Json("fig7", Full);
 
-  for (const BenchDef &Bench : Benchmarks) {
+  // Every (benchmark, variant) cell is an independent simulation: run the
+  // whole grid on SweepRunner workers, then present serially from the
+  // preallocated slots so the tables come out byte-identical to a serial
+  // sweep regardless of thread count.
+  const size_t NumVariants = std::size(AllVariants);
+  std::vector<BenchResult> Grid(Benchmarks.size() * NumVariants);
+  SweepRunner Runner;
+  Runner.run(Grid.size(), [&](size_t Cell) {
+    const BenchDef &Bench = Benchmarks[Cell / NumVariants];
+    Grid[Cell] = Bench.Run(AllVariants[Cell % NumVariants], &Config);
+  });
+
+  for (size_t B = 0; B < Benchmarks.size(); ++B) {
+    const BenchDef &Bench = Benchmarks[B];
     std::printf("--- %s ---\n", Bench.Name.c_str());
     TablePrinter Table({"config", "norm time", "busy%", "L1 stall%",
                         "L2 stall%", "TLB%", "other%", "L2 misses",
@@ -116,8 +130,9 @@ int main(int Argc, char **Argv) {
     double BestPrefetch = 0;
     double MorphBest = 0;
     double NewBlock = 0;
-    for (Variant V : AllVariants) {
-      BenchResult R = Bench.Run(V, &Config);
+    for (size_t I = 0; I < NumVariants; ++I) {
+      Variant V = AllVariants[I];
+      const BenchResult &R = Grid[B * NumVariants + I];
       if (V == Variant::Base)
         Base = R;
       double Total = double(R.Stats.totalCycles());

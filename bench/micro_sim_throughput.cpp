@@ -15,6 +15,7 @@
 
 #include "bench/MicroBenchMain.h"
 #include "sim/MemoryHierarchy.h"
+#include "sim/TraceBuffer.h"
 
 #include <benchmark/benchmark.h>
 
@@ -116,6 +117,28 @@ void SimPointerChaseBatch(benchmark::State &State) {
   State.SetLabel(State.range(0) == 0 ? "e5000" : "rsim");
 }
 
+// Record-once/replay-many path: the pointer chase is encoded into a
+// TraceBuffer once, then every iteration replays the sealed recording
+// through the software-pipelined MemoryHierarchy::replay() decoder.
+// Items/sec here vs SimPointerChaseBatch is the per-replay cost of the
+// trace engine (decode + prefetch vs iterating raw MemAccess records).
+void SimPointerChaseReplay(benchmark::State &State) {
+  const std::vector<uint64_t> Addrs =
+      makeTrace(TraceKind::PointerChase, 1 << 20);
+  TraceBuffer Buf;
+  for (uint64_t Addr : Addrs)
+    Buf.recordRead(Addr, 8);
+  Buf.seal();
+  MemoryHierarchy M(presetFor(State.range(0)));
+  for (auto _ : State) {
+    M.replay(Buf.view());
+    benchmark::DoNotOptimize(M.stats().L2Misses);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(Buf.records()));
+  State.SetLabel(State.range(0) == 0 ? "e5000" : "rsim");
+}
+
 void SimStreaming(benchmark::State &State) {
   runTrace(State, TraceKind::Streaming);
 }
@@ -153,6 +176,7 @@ void SimPointerChaseObserved(benchmark::State &State) {
 
 BENCHMARK(SimPointerChase)->Arg(0)->Arg(1);
 BENCHMARK(SimPointerChaseBatch)->Arg(0)->Arg(1);
+BENCHMARK(SimPointerChaseReplay)->Arg(0)->Arg(1);
 BENCHMARK(SimStreaming)->Arg(0)->Arg(1);
 BENCHMARK(SimRandom)->Arg(0)->Arg(1);
 BENCHMARK(SimPointerChaseObserved)->Arg(0)->Arg(1);

@@ -58,7 +58,9 @@ if [[ "${CCL_BENCH_ARTIFACTS:-0}" == "1" ]]; then
     --out "$ART/BENCH_morph_throughput.json"
   build-bench/bench/fig5_tree_microbenchmark \
     --out "$ART/BENCH_fig5.json"
+  build-bench/bench/fig6_macrobenchmarks --out "$ART/BENCH_fig6.json"
   build-bench/bench/fig7_olden --out "$ART/BENCH_fig7.json"
+  build-bench/bench/fig10_model_validation --out "$ART/BENCH_fig10.json"
 fi
 
 echo "=== CI OK ==="

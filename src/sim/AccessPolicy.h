@@ -6,13 +6,19 @@
 ///
 /// \file
 /// Workloads (trees, Olden benchmarks, BDD package, ray tracer) are
-/// templated over an access policy so the same code runs twice:
+/// templated over an access policy so the same code runs three ways:
 ///
 ///  * NativeAccess — compiles to plain loads/stores; used for wall-clock
 ///    measurements on the host machine (paper Sections 4.2/4.3).
 ///  * SimAccess — additionally reports every pointer dereference to a
 ///    MemoryHierarchy using the real virtual address; used for the
 ///    cycle-breakdown experiments (paper Section 4.4 / Figure 7).
+///  * RecordAccess — native execution that captures the event stream
+///    into a sim::TraceBuffer. Replaying the recording through a fresh
+///    hierarchy (MemoryHierarchy::replay) produces statistics
+///    bit-identical to a SimAccess run of the same workload, so one
+///    native recording pass can stand in for many simulated
+///    re-executions (record once, replay many).
 ///
 /// The policies expose load/store/touch/prefetch/tick. `tick` models
 /// non-memory computation so the simulator's busy fraction is nonzero.
@@ -23,6 +29,7 @@
 #define CCL_SIM_ACCESSPOLICY_H
 
 #include "sim/MemoryHierarchy.h"
+#include "sim/TraceBuffer.h"
 #include "support/Align.h"
 
 #include <cstddef>
@@ -76,6 +83,43 @@ public:
 
 private:
   MemoryHierarchy &Hierarchy;
+};
+
+/// Recording policy: native execution plus trace capture. Emits exactly
+/// the event stream SimAccess would have driven into a hierarchy —
+/// same addresses, sizes, ordering, ticks, and prefetch requests — so
+/// MemoryHierarchy::replay(Buffer) is bit-identical to running the
+/// workload under SimAccess (asserted in tests/trace_test.cpp).
+class RecordAccess {
+public:
+  explicit RecordAccess(TraceBuffer &Buffer) : Buffer(Buffer) {}
+
+  template <typename T> T load(const T *Ptr) {
+    Buffer.recordRead(addrOf(Ptr), sizeof(T));
+    return *Ptr;
+  }
+
+  template <typename T> void store(T *Ptr, const T &Value) {
+    Buffer.recordWrite(addrOf(Ptr), sizeof(T));
+    *Ptr = Value;
+  }
+
+  void touch(const void *Ptr, size_t Size) {
+    Buffer.recordRead(addrOf(Ptr), Size);
+  }
+
+  /// Captures the software-prefetch request; no host prefetch is issued
+  /// (recording runs are not wall-clock measurements).
+  void prefetch(const void *Ptr) { Buffer.recordPrefetch(addrOf(Ptr)); }
+
+  void tick(uint64_t Cycles) { Buffer.recordTick(Cycles); }
+
+  TraceBuffer &buffer() { return Buffer; }
+
+  static constexpr bool IsSimulated = false;
+
+private:
+  TraceBuffer &Buffer;
 };
 
 } // namespace ccl::sim

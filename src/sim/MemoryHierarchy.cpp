@@ -25,6 +25,72 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &Config)
   L1BlockShift = log2Exact(Config.L1.BlockBytes);
 }
 
+void MemoryHierarchy::replay(TraceCursor &Cursor, size_t MaxRecords) {
+  if (Obs != nullptr) [[unlikely]] {
+    // Observed replays route per record through the same slow paths a
+    // live observed run takes, so telemetry and statistics stay
+    // bit-identical to the equivalent read()/write() call sequence.
+    TraceRecord R;
+    while (MaxRecords != 0 && Cursor.next(R)) {
+      --MaxRecords;
+      switch (R.K) {
+      case TraceRecord::Kind::Read:
+        accessRangeObserved(R.Addr, R.Arg, false);
+        break;
+      case TraceRecord::Kind::Write:
+        accessRangeObserved(R.Addr, R.Arg, true);
+        break;
+      case TraceRecord::Kind::Prefetch:
+        prefetch(R.Addr);
+        break;
+      case TraceRecord::Kind::Tick:
+        tick(R.Arg);
+        break;
+      }
+    }
+    return;
+  }
+
+  // Software-pipelined inner loop: decode one batch of records ahead of
+  // the simulation, warm the L1/L2 tag lines that batch will touch
+  // (non-mutating — unknown first-touch units are skipped), then run
+  // the exact access pass. Decoding is pure pointer arithmetic over the
+  // varint stream, so it overlaps with the simulator's own misses.
+  constexpr size_t BatchSize = 64;
+  TraceRecord Batch[BatchSize];
+  while (MaxRecords != 0) {
+    size_t Want = MaxRecords < BatchSize ? MaxRecords : BatchSize;
+    size_t Got = 0;
+    while (Got < Want && Cursor.next(Batch[Got]))
+      ++Got;
+    if (Got == 0)
+      return;
+    MaxRecords -= Got;
+    for (size_t I = 0; I < Got; ++I)
+      if (Batch[I].K != TraceRecord::Kind::Tick)
+        warmReplayTarget(Batch[I].Addr);
+    for (size_t I = 0; I < Got; ++I) {
+      const TraceRecord &R = Batch[I];
+      switch (R.K) {
+      case TraceRecord::Kind::Read:
+        if (!tryAccessFast(R.Addr, R.Arg, false))
+          accessRange(R.Addr, R.Arg, false);
+        break;
+      case TraceRecord::Kind::Write:
+        if (!tryAccessFast(R.Addr, R.Arg, true))
+          accessRange(R.Addr, R.Arg, true);
+        break;
+      case TraceRecord::Kind::Prefetch:
+        prefetch(R.Addr);
+        break;
+      case TraceRecord::Kind::Tick:
+        tick(R.Arg);
+        break;
+      }
+    }
+  }
+}
+
 uint64_t MemoryHierarchy::translateSlow(uint64_t Addr) {
   uint64_t Unit = Addr >> UnitShift;
   if (uint64_t *Mapped = UnitMap.find(Unit)) {

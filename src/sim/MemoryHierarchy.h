@@ -37,6 +37,7 @@
 #include "sim/Cache.h"
 #include "sim/SimStats.h"
 #include "sim/Tlb.h"
+#include "sim/TraceBuffer.h"
 #include "support/FlatMap.h"
 
 #include <cstdint>
@@ -102,6 +103,24 @@ public:
       if (!tryAccessFast(A.Addr, A.Size, A.IsWrite))
         accessRange(A.Addr, A.Size, A.IsWrite);
   }
+
+  /// Replays a recorded trace (or prefix view of one): bit-identical to
+  /// issuing the same read()/write()/prefetch()/tick() calls in recorded
+  /// order, but decoded batch-at-a-time with the simulator's tag lines
+  /// warmed one batch ahead — the record-once/replay-many engine the
+  /// figure benches use to evaluate many sweep points against one
+  /// native recording. Because replay preserves the recorded order, the
+  /// canonical first-touch address remap resolves identically to a live
+  /// run (locked down by tests/trace_test.cpp and sim_golden_test).
+  void replay(TraceView View) {
+    TraceCursor Cursor(View);
+    replay(Cursor, View.records());
+  }
+
+  /// Replays at most \p MaxRecords records from \p Cursor, advancing it.
+  /// Lets one recording be consumed in phases (warmup, then a measured
+  /// window) with now()/stats() snapshots between them.
+  void replay(TraceCursor &Cursor, size_t MaxRecords);
 
   /// Issues a software prefetch for the L2 block containing \p Addr.
   void prefetch(uint64_t Addr);
@@ -204,6 +223,24 @@ private:
   }
 
   uint64_t translateSlow(uint64_t Addr);
+
+  /// Best-effort, strictly non-mutating host prefetch of the tag lines
+  /// a replayed access will touch. Uses only translations that already
+  /// exist (cached unit or a map hit); first-touch units are skipped —
+  /// their mapping must not be created out of order.
+  void warmReplayTarget(uint64_t Addr) {
+    uint64_t Unit = Addr >> UnitShift;
+    uint64_t Mapped;
+    if (Unit == LastUnit) {
+      Mapped = (LastMapped << UnitShift) | (Addr & UnitMask);
+    } else if (const uint64_t *Known = UnitMap.find(Unit)) {
+      Mapped = (*Known << UnitShift) | (Addr & UnitMask);
+    } else {
+      return;
+    }
+    L1.prefetchTags(Mapped);
+    L2.prefetchTags(Mapped);
+  }
 
   HierarchyConfig Config;
   Cache L1;

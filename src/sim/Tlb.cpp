@@ -18,12 +18,20 @@ Tlb::Tlb(const TlbConfig &Config)
 }
 
 bool Tlb::accessSlow(uint64_t Page) {
+  // The index is stale-tolerant: entries for evicted pages are left in
+  // place and filtered by the Pages[] check here, so the miss path never
+  // pays FlatMap64's backward-shift erase. The table is bounded by the
+  // number of distinct pages ever touched, not by TLB capacity. Hit/miss
+  // classification still depends only on the resident set and recency
+  // order, so statistics are unchanged.
   if (uint64_t *Slot = Index.find(Page)) {
     uint32_t N = uint32_t(*Slot);
-    ++Hits;
-    unlink(N);
-    pushFront(N);
-    return true;
+    if (Pages[N] == Page) {
+      ++Hits;
+      unlink(N);
+      pushFront(N);
+      return true;
+    }
   }
 
   ++Misses;
@@ -33,10 +41,9 @@ bool Tlb::accessSlow(uint64_t Page) {
   } else {
     N = Prev[Sentinel]; // True LRU victim.
     unlink(N);
-    Index.erase(Pages[N]);
   }
   Pages[N] = Page;
-  Index.tryInsert(Page, N);
+  Index.insertOrAssign(Page, N);
   pushFront(N);
   return false;
 }

@@ -1,0 +1,241 @@
+//===- sim/TraceBuffer.h - Compact record-once/replay-many traces -*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace engine's storage: a compact, append-only encoding of one
+/// deterministic access stream (reads, writes, software prefetches, and
+/// compute ticks), filled once by a native RecordAccess run and replayed
+/// many times through fresh MemoryHierarchy instances — the structure of
+/// the paper's own RSIM experiments, where one recorded address stream
+/// was evaluated against many layouts.
+///
+/// Encoding (delta/varint, typically 2-5 bytes per record vs 16 for a
+/// raw MemAccess):
+///
+///   header byte: [7..5 reserved][4..2 size code][1..0 opcode]
+///     opcode     0 = read, 1 = write, 2 = prefetch, 3 = tick
+///     size code  1..7 -> {1, 2, 4, 8, 16, 32, 64} bytes (the common
+///                field/node sizes); 0 -> explicit varint size follows
+///                the address delta. Prefetch/tick leave it zero.
+///   read/write: zigzag varint of (addr - prev addr) [+ varint size]
+///   prefetch:   zigzag varint of (addr - prev addr)
+///   tick:       varint cycle count
+///
+/// Reads, writes, and prefetches share one previous-address chain, so
+/// pointer-chase locality keeps deltas short.
+///
+/// A sealed buffer is immutable; TraceView (a borrowed prefix) and
+/// TraceCursor (a decoding position) are cheap value types, so many
+/// SweepRunner workers can replay the same recording concurrently, each
+/// with its own cursor and hierarchy. Prefix views cost nothing beyond a
+/// record count: because a view always decodes from the start, replaying
+/// "the first N searches" of fig5's seeded key stream needs no
+/// per-record index. Encode/decode round-trips exactly — including
+/// size-0 touches and full-range addresses — locked down by
+/// tests/trace_test.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_SIM_TRACEBUFFER_H
+#define CCL_SIM_TRACEBUFFER_H
+
+#include "support/Varint.h"
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ccl::sim {
+
+/// One decoded trace record. \p Arg holds the byte size for reads and
+/// writes and the cycle count for ticks; prefetches carry only \p Addr.
+struct TraceRecord {
+  enum class Kind : uint8_t { Read, Write, Prefetch, Tick };
+  uint64_t Addr = 0;
+  uint64_t Arg = 0;
+  Kind K = Kind::Read;
+};
+
+/// A borrowed, immutable prefix of a TraceBuffer: the first NumRecords
+/// records of the underlying encoding. Copyable and trivially shareable
+/// across threads; the owning buffer must outlive it.
+struct TraceView {
+  const uint8_t *Data = nullptr;
+  size_t NumRecords = 0;
+
+  size_t records() const { return NumRecords; }
+  bool empty() const { return NumRecords == 0; }
+};
+
+/// A decoding position inside a view. next() streams records in order;
+/// MemoryHierarchy::replay(cursor, n) consumes a bounded number, so one
+/// recording can be replayed in phases (e.g. fig10's warmup, then its
+/// measured window) with cycle snapshots taken in between.
+class TraceCursor {
+public:
+  TraceCursor() = default;
+  explicit TraceCursor(TraceView View)
+      : Pos(View.Data), RecordsLeft(View.NumRecords) {}
+
+  size_t remaining() const { return RecordsLeft; }
+  bool done() const { return RecordsLeft == 0; }
+
+  /// Decodes the next record into \p Out; returns false when exhausted.
+  bool next(TraceRecord &Out) {
+    if (RecordsLeft == 0)
+      return false;
+    --RecordsLeft;
+    uint8_t Header = *Pos++;
+    auto Kind = TraceRecord::Kind(Header & 0x3);
+    Out.K = Kind;
+    if (Kind == TraceRecord::Kind::Tick) {
+      Out.Addr = 0;
+      Out.Arg = varintDecode(Pos);
+      return true;
+    }
+    PrevAddr += uint64_t(zigzagDecode(varintDecode(Pos)));
+    Out.Addr = PrevAddr;
+    if (Kind == TraceRecord::Kind::Prefetch) {
+      Out.Arg = 0;
+      return true;
+    }
+    uint32_t SizeCode = (Header >> 2) & 0x7;
+    Out.Arg = SizeCode != 0 ? uint64_t(1) << (SizeCode - 1)
+                            : varintDecode(Pos);
+    return true;
+  }
+
+private:
+  const uint8_t *Pos = nullptr;
+  size_t RecordsLeft = 0;
+  uint64_t PrevAddr = 0;
+};
+
+/// Append-only recorded access stream. Fill through the record*() calls
+/// (or a sim::RecordAccess policy), seal(), then hand out views.
+class TraceBuffer {
+public:
+  TraceBuffer() = default;
+
+  // The encoding chains address deltas; moving the storage is fine, but
+  // accidental copies of multi-megabyte recordings are not.
+  TraceBuffer(const TraceBuffer &) = delete;
+  TraceBuffer &operator=(const TraceBuffer &) = delete;
+  TraceBuffer(TraceBuffer &&) = default;
+  TraceBuffer &operator=(TraceBuffer &&) = default;
+
+  void recordRead(uint64_t Addr, uint64_t Size) {
+    recordAccess(0, Addr, Size);
+  }
+
+  void recordWrite(uint64_t Addr, uint64_t Size) {
+    recordAccess(1, Addr, Size);
+  }
+
+  void recordPrefetch(uint64_t Addr) {
+    assert(!Sealed && "recording into a sealed trace");
+    uint8_t *P = grab();
+    *P++ = 2;
+    P = varintEncode(P, zigzagEncode(int64_t(Addr - PrevAddr)));
+    Used = size_t(P - Data.data());
+    PrevAddr = Addr;
+    ++NumRecords;
+  }
+
+  void recordTick(uint64_t Cycles) {
+    assert(!Sealed && "recording into a sealed trace");
+    uint8_t *P = grab();
+    *P++ = 3;
+    P = varintEncode(P, Cycles);
+    Used = size_t(P - Data.data());
+    ++NumRecords;
+  }
+
+  /// Number of records written so far — also the `mark` to pass to
+  /// prefix() for "everything recorded up to this point".
+  size_t records() const { return NumRecords; }
+
+  /// Encoded size; compactness is what makes whole-benchmark recordings
+  /// affordable (tests assert it beats sizeof(MemAccess) per record).
+  size_t bytes() const { return Used; }
+
+  /// Freezes the buffer (and trims its allocation). Required before
+  /// views may be shared across threads.
+  void seal() {
+    Sealed = true;
+    Data.resize(Used);
+    Data.shrink_to_fit();
+  }
+
+  bool sealed() const { return Sealed; }
+
+  /// View over the whole recording.
+  TraceView view() const { return {Data.data(), NumRecords}; }
+
+  /// View over the first \p Records records.
+  TraceView prefix(size_t Records) const {
+    assert(Records <= NumRecords && "prefix longer than the recording");
+    return {Data.data(), Records};
+  }
+
+  void clear() {
+    Data.clear();
+    Used = 0;
+    NumRecords = 0;
+    PrevAddr = 0;
+    Sealed = false;
+  }
+
+private:
+  void recordAccess(uint8_t Opcode, uint64_t Addr, uint64_t Size) {
+    assert(!Sealed && "recording into a sealed trace");
+    uint32_t SizeCode = sizeCodeFor(Size);
+    uint8_t *P = grab();
+    *P++ = uint8_t(Opcode | (SizeCode << 2));
+    P = varintEncode(P, zigzagEncode(int64_t(Addr - PrevAddr)));
+    if (SizeCode == 0)
+      P = varintEncode(P, Size);
+    Used = size_t(P - Data.data());
+    PrevAddr = Addr;
+    ++NumRecords;
+  }
+
+  /// Longest possible record: header byte + two 10-byte varints.
+  static constexpr size_t MaxRecordBytes = 21;
+
+  /// Returns a write pointer with at least MaxRecordBytes of headroom,
+  /// growing the backing storage geometrically. Record paths write
+  /// through the pointer unchecked and then advance Used — this is what
+  /// keeps recording from paying a bounds check per byte.
+  uint8_t *grab() {
+    if (Used + MaxRecordBytes > Data.size())
+      Data.resize(Data.size() < 2048 ? 4096 : Data.size() * 2);
+    return Data.data() + Used;
+  }
+
+  /// 1..7 for the power-of-two sizes 1..64, 0 for everything else
+  /// (explicit varint).
+  static uint32_t sizeCodeFor(uint64_t Size) {
+    if (Size == 0 || Size > 64 || (Size & (Size - 1)) != 0)
+      return 0;
+    return uint32_t(std::countr_zero(Size)) + 1;
+  }
+
+  /// Backing storage; sized with MaxRecordBytes of slack while
+  /// recording, trimmed to exactly Used bytes by seal().
+  std::vector<uint8_t> Data;
+  /// Encoded bytes written so far (Data.size() is capacity-like).
+  size_t Used = 0;
+  size_t NumRecords = 0;
+  uint64_t PrevAddr = 0;
+  bool Sealed = false;
+};
+
+} // namespace ccl::sim
+
+#endif // CCL_SIM_TRACEBUFFER_H

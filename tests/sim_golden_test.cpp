@@ -12,13 +12,15 @@
 // O(1) TLB LRU) change nothing observable.
 //
 // Also asserts that a SweepRunner grid produces statistics identical to a
-// serial run of the same grid, and that the batched readTrace() entry
-// point matches per-call read()/write().
+// serial run of the same grid, that the batched readTrace() entry point
+// matches per-call read()/write(), and that a TraceBuffer recording
+// replayed through the trace engine reproduces the same goldens.
 //
 //===----------------------------------------------------------------------===//
 
 #include "obs/Observer.h"
 #include "sim/MemoryHierarchy.h"
+#include "sim/TraceBuffer.h"
 #include "support/SweepRunner.h"
 
 #include <gtest/gtest.h>
@@ -397,6 +399,38 @@ TEST(SimGolden, ResetReproducesIdenticalStats) {
   M.reset();
   replay(M, Ops);
   expectEqual(First, collect(M), "after reset");
+}
+
+TEST(SimGolden, RecordedReplayMatchesGolden) {
+  // The trace engine against the seed-implementation numbers: encoding
+  // each golden trace into a TraceBuffer and replaying it through the
+  // software-pipelined decoder must reproduce every pinned statistic —
+  // so record-once/replay-many can never drift from live simulation
+  // without this test (and the seed goldens) noticing.
+  for (const GoldenCase &Case : GoldenCases) {
+    TraceBuffer Buf;
+    for (const TraceOp &Op : traceByName(Case.Trace)) {
+      switch (Op.Kind) {
+      case 0:
+        Buf.recordRead(Op.Addr, Op.Size);
+        break;
+      case 1:
+        Buf.recordWrite(Op.Addr, Op.Size);
+        break;
+      case 2:
+        Buf.recordPrefetch(Op.Addr);
+        break;
+      case 3:
+        Buf.recordTick(Op.Addr);
+        break;
+      }
+    }
+    Buf.seal();
+    MemoryHierarchy M(presetByName(Case.Preset, Case.Trace));
+    M.replay(Buf.view());
+    expectEqual(Case.Expected, collect(M),
+                std::string("replay/") + Case.Trace + "/" + Case.Preset);
+  }
 }
 
 TEST(SimGolden, BatchedReadTraceMatchesPerCallPath) {
