@@ -8,6 +8,7 @@
 
 #include "support/TablePrinter.h"
 
+#include <algorithm>
 #include <cinttypes>
 
 using namespace ccl;
@@ -124,6 +125,33 @@ void TraceSink::onPrefetch(const PrefetchEvent &Event) {
   ++Lines;
 }
 
+void TraceSink::onReplaySharding(const ReplayShardingEvent &Event) {
+  // Never sampled: one line per replayParallel call is already rare, and
+  // dropping one would skew the replay count cclstat reports.
+  std::fprintf(Out,
+               "{\"kind\":\"shard\",\"shards\":%" PRIu32
+               ",\"groups\":%" PRIu32 ",\"workers\":%" PRIu32
+               ",\"records\":%" PRIu64 ",\"min\":%" PRIu64
+               ",\"max\":%" PRIu64 ",\"parallel\":%d,\"reason\":\"%s\"}\n",
+               Event.Shards, Event.Groups, Event.Workers, Event.Records,
+               Event.MinShardRecords, Event.MaxShardRecords,
+               Event.Parallel ? 1 : 0,
+               jsonEscape(Event.Reason).c_str());
+  ++Lines;
+}
+
+void ReplayShardingSummary::add(const ReplayShardingEvent &Event) {
+  ++Replays;
+  if (Event.Parallel)
+    ++ParallelReplays;
+  Records += Event.Records;
+  Shards = std::max(Shards, Event.Shards);
+  Workers = std::max(Workers, Event.Workers);
+  MaxImbalance = std::max(MaxImbalance, Event.imbalance());
+  if (!Event.Parallel && Event.Reason[0] != '\0')
+    LastSerialReason = Event.Reason;
+}
+
 namespace {
 
 void writeRegionJson(std::FILE *Out, const RegionInfo &Info,
@@ -148,7 +176,8 @@ void writeRegionJson(std::FILE *Out, const RegionInfo &Info,
 
 } // namespace
 
-void ccl::obs::writeProfileJson(const AttributionSink &Sink, std::FILE *Out) {
+void ccl::obs::writeProfileJson(const AttributionSink &Sink, std::FILE *Out,
+                                const ReplayShardingSummary *Sharding) {
   const AttributionConfig &Config = Sink.config();
   std::fprintf(Out,
                "{\"schema\":\"ccl-profile-v1\",\"l2_block\":%" PRIu32
@@ -184,7 +213,19 @@ void ccl::obs::writeProfileJson(const AttributionSink &Sink, std::FILE *Out) {
     std::fprintf(Out, "[%" PRIu64 ",%" PRIu64 ",%" PRIu64 "]", Set,
                  Misses[Set], Evictions[Set]);
   }
-  std::fprintf(Out, "]}\n");
+  std::fprintf(Out, "]");
+
+  if (Sharding && Sharding->any())
+    std::fprintf(Out,
+                 ",\"replay_sharding\":{\"replays\":%" PRIu64
+                 ",\"parallel\":%" PRIu64 ",\"records\":%" PRIu64
+                 ",\"shards\":%" PRIu32 ",\"workers\":%" PRIu32
+                 ",\"max_imbalance\":%.4f,\"serial_reason\":\"%s\"}",
+                 Sharding->Replays, Sharding->ParallelReplays,
+                 Sharding->Records, Sharding->Shards, Sharding->Workers,
+                 Sharding->MaxImbalance,
+                 jsonEscape(Sharding->LastSerialReason).c_str());
+  std::fprintf(Out, "}\n");
 }
 
 void ccl::obs::writeProfileCsv(const AttributionSink &Sink, std::FILE *Out) {

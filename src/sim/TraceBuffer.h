@@ -82,8 +82,22 @@ public:
   explicit TraceCursor(TraceView View)
       : Pos(View.Data), RecordsLeft(View.NumRecords) {}
 
+  /// Resumes decoding at a position captured from another cursor over the
+  /// same encoding (rawPosition()/chainAddr() taken after the same number
+  /// of next() calls). The delta chain makes an encoded stream
+  /// position-dependent, so all three values must come from the same
+  /// decode — TraceShardIndex records them at its cut points.
+  TraceCursor(const uint8_t *Pos, size_t Records, uint64_t ChainAddr)
+      : Pos(Pos), RecordsLeft(Records), PrevAddr(ChainAddr) {}
+
   size_t remaining() const { return RecordsLeft; }
   bool done() const { return RecordsLeft == 0; }
+
+  /// Current byte position in the encoded stream (for cut bookkeeping).
+  const uint8_t *rawPosition() const { return Pos; }
+
+  /// Current value of the shared previous-address delta chain.
+  uint64_t chainAddr() const { return PrevAddr; }
 
   /// Decodes the next record into \p Out; returns false when exhausted.
   bool next(TraceRecord &Out) {

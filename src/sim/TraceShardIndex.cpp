@@ -1,0 +1,182 @@
+//===- sim/TraceShardIndex.cpp - Set-sharded trace splitting --------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/TraceShardIndex.h"
+
+#include <algorithm>
+
+using namespace ccl::sim;
+
+ShardKeySpec ShardKeySpec::fromConfig(const HierarchyConfig &Config) {
+  assert(Config.isValid() && "invalid hierarchy configuration");
+  ShardKeySpec Spec;
+  uint32_t S1 = ccl::log2Exact(Config.L1.BlockBytes);
+  uint32_t N1 = ccl::log2Exact(Config.L1.numSets());
+  uint32_t S2 = ccl::log2Exact(Config.L2.BlockBytes);
+  uint32_t N2 = ccl::log2Exact(Config.L2.numSets());
+  if (Config.Prefetch.NextLineDegree != 0) {
+    Spec.Reason = "hardware next-line prefetch couples sets through the "
+                  "global cycle";
+    return Spec;
+  }
+  if (S1 + N1 > S2 + N2) {
+    Spec.Reason = "L1 frame exceeds L2 frame: set-index bits do not nest";
+    return Spec;
+  }
+  Spec.Nested = true;
+  if (S2 >= S1 + N1) {
+    Spec.Reason = "one L2 block covers the whole L1 frame: single shard";
+    return Spec;
+  }
+  Spec.KeyShift = S2;
+  Spec.KeyBits = std::min(S1 + N1 - S2, MaxKeyBits);
+  return Spec;
+}
+
+TraceShardIndex::TraceShardIndex(TraceView View,
+                                 const HierarchyConfig &Config,
+                                 std::vector<size_t> Marks,
+                                 unsigned WorkersHint)
+    : View(View), Spec(ShardKeySpec::fromConfig(Config)) {
+  uint64_t UnitBytes = std::max<uint64_t>({Config.L2.CapacityBytes,
+                                           Config.L1.CapacityBytes,
+                                           Config.Tlb.PageBytes});
+  UnitShift = ccl::log2Exact(UnitBytes);
+  const uint64_t UnitMask = UnitBytes - 1;
+  const uint32_t L1BlockShift = ccl::log2Exact(Config.L1.BlockBytes);
+
+  CutRecords.push_back(0);
+  for (size_t Mark : Marks) {
+    assert(Mark <= View.records() && "mark beyond the recording");
+    assert(Mark >= CutRecords.back() && "marks must be ascending");
+    if (Mark != 0 && Mark != View.records() && Mark != CutRecords.back())
+      CutRecords.push_back(Mark);
+  }
+  CutRecords.push_back(View.records());
+
+  Sharded = Spec.shardable() && WorkersHint > 1;
+  SerialReason =
+      Spec.shardable() ? (Sharded ? "" : "single worker") : Spec.Reason;
+
+  const uint32_t NumShards = Spec.numShards();
+  std::vector<uint64_t> ShardChain;
+  if (Sharded) {
+    ShardStreams.resize(NumShards);
+    ShardChain.assign(NumShards, 0);
+    ShardCuts.reserve(CutRecords.size() * NumShards);
+  }
+
+  // First-touch translation in recorded order — the exact unit numbering
+  // a serial replay's translateSlow() would create.
+  uint64_t LastUnit = ~0ULL;
+  uint64_t LastMapped = 0;
+  uint64_t NextUnit = 1;
+  auto translate = [&](uint64_t Addr) {
+    uint64_t Unit = Addr >> UnitShift;
+    if (Unit != LastUnit) {
+      if (const uint64_t *Known = Units.find(Unit)) {
+        LastMapped = *Known;
+      } else {
+        Units.tryInsert(Unit, NextUnit);
+        UnitsInOrder.push_back(Unit);
+        LastMapped = NextUnit++;
+      }
+      LastUnit = Unit;
+    }
+    return (LastMapped << UnitShift) | (Addr & UnitMask);
+  };
+
+  TraceCursor Cursor(View);
+  size_t NextCut = 0;
+  uint64_t BlockAccesses = 0;
+  auto captureCut = [&] {
+    OriginalCuts.push_back({size_t(Cursor.rawPosition() - View.Data),
+                            CutRecords[NextCut], Cursor.chainAddr()});
+    CutBlockAccesses.push_back(BlockAccesses);
+    CutUnits.push_back(NextUnit - 1);
+    if (Sharded)
+      for (uint32_t S = 0; S < NumShards; ++S)
+        ShardCuts.push_back({ShardStreams[S].bytes(),
+                             ShardStreams[S].records(), ShardChain[S]});
+  };
+
+  TraceRecord Record;
+  for (size_t RecIdx = 0;; ++RecIdx) {
+    while (NextCut < CutRecords.size() && CutRecords[NextCut] == RecIdx) {
+      captureCut();
+      ++NextCut;
+    }
+    if (!Cursor.next(Record))
+      break;
+    switch (Record.K) {
+    case TraceRecord::Kind::Tick:
+      break;
+    case TraceRecord::Kind::Prefetch:
+      // Software prefetch timing depends on the global cycle, which no
+      // set partition preserves; keep only the cut bookkeeping and let
+      // replayParallel fall back to a serial walk.
+      if (Sharded) {
+        Sharded = false;
+        SerialReason = "software prefetch records couple sets through "
+                       "the global cycle";
+        ShardStreams.clear();
+        ShardCuts.clear();
+        ShardChain.clear();
+      }
+      break;
+    case TraceRecord::Kind::Read:
+    case TraceRecord::Kind::Write: {
+      uint64_t Size = Record.Arg ? Record.Arg : 1;
+      uint64_t First = Record.Addr >> L1BlockShift;
+      uint64_t Last = (Record.Addr + Size - 1) >> L1BlockShift;
+      BlockAccesses += Last - First + 1;
+      if (!Sharded)
+        break;
+      for (uint64_t Block = First; Block <= Last; ++Block) {
+        uint64_t Mapped = translate(Block << L1BlockShift);
+        uint32_t Shard = Spec.shardOf(Mapped);
+        if (Record.K == TraceRecord::Kind::Write)
+          ShardStreams[Shard].recordWrite(Mapped, 1);
+        else
+          ShardStreams[Shard].recordRead(Mapped, 1);
+        ShardChain[Shard] = Mapped;
+      }
+      break;
+    }
+    }
+  }
+
+  for (TraceBuffer &Stream : ShardStreams)
+    Stream.seal();
+}
+
+size_t TraceShardIndex::cutForRecords(size_t Records) const {
+  for (size_t Cut = 0; Cut < CutRecords.size(); ++Cut)
+    if (CutRecords[Cut] == Records)
+      return Cut;
+  assert(false && "no cut at this record count: pass it as a mark");
+  return 0;
+}
+
+uint64_t TraceShardIndex::maxShardAccessesBetween(size_t CutA,
+                                                  size_t CutB) const {
+  if (!Sharded)
+    return blockAccessesBetween(CutA, CutB);
+  uint64_t Max = 0;
+  for (uint32_t S = 0; S < Spec.numShards(); ++S)
+    Max = std::max(Max, shardAccessesBetween(S, CutA, CutB));
+  return Max;
+}
+
+uint64_t TraceShardIndex::minShardAccessesBetween(size_t CutA,
+                                                  size_t CutB) const {
+  if (!Sharded)
+    return blockAccessesBetween(CutA, CutB);
+  uint64_t Min = ~0ULL;
+  for (uint32_t S = 0; S < Spec.numShards(); ++S)
+    Min = std::min(Min, shardAccessesBetween(S, CutA, CutB));
+  return Min;
+}

@@ -15,6 +15,18 @@
 
 using namespace ccl;
 
+namespace {
+/// Depth of sweep-cell nesting on this thread (0 = not in a worker).
+thread_local unsigned SweepCellDepth = 0;
+
+struct CellDepthScope {
+  CellDepthScope() { ++SweepCellDepth; }
+  ~CellDepthScope() { --SweepCellDepth; }
+};
+} // namespace
+
+bool SweepRunner::inWorker() { return SweepCellDepth != 0; }
+
 unsigned SweepRunner::defaultThreads() {
   if (const char *Env = std::getenv("CCL_SWEEP_THREADS")) {
     long Value = std::strtol(Env, nullptr, 10);
@@ -29,27 +41,37 @@ SweepRunner::SweepRunner(unsigned Threads)
     : NumThreads(Threads == 0 ? defaultThreads() : Threads) {}
 
 void SweepRunner::run(size_t Cells,
-                      const std::function<void(size_t)> &Cell) const {
-  unsigned Workers = unsigned(std::min<size_t>(NumThreads, Cells));
+                      const std::function<void(size_t)> &Cell,
+                      size_t Chunk) const {
+  if (Chunk == 0)
+    Chunk = 1;
+  unsigned Workers =
+      unsigned(std::min<size_t>(NumThreads, (Cells + Chunk - 1) / Chunk));
   if (Workers <= 1) {
+    // Allocation-free serial path (also taken for a one-chunk grid).
+    CellDepthScope InCell;
     for (size_t I = 0; I < Cells; ++I)
       Cell(I);
     return;
   }
 
-  // Dynamic work-stealing over an atomic cursor: cells vary wildly in
+  // Chunked self-scheduling over an atomic cursor: cells vary wildly in
   // cost (bigger caches simulate slower), so static partitioning would
-  // leave workers idle.
+  // leave workers idle; dynamic claiming keeps everyone busy until the
+  // grid drains.
   std::atomic<size_t> NextCell{0};
   std::exception_ptr FirstError;
   std::atomic<bool> HasError{false};
   auto Worker = [&] {
+    CellDepthScope InCell;
     for (;;) {
-      size_t I = NextCell.fetch_add(1, std::memory_order_relaxed);
-      if (I >= Cells || HasError.load(std::memory_order_relaxed))
+      size_t First = NextCell.fetch_add(Chunk, std::memory_order_relaxed);
+      if (First >= Cells || HasError.load(std::memory_order_relaxed))
         return;
+      size_t Last = std::min(Cells, First + Chunk);
       try {
-        Cell(I);
+        for (size_t I = First; I < Last; ++I)
+          Cell(I);
       } catch (...) {
         if (!HasError.exchange(true))
           FirstError = std::current_exception();

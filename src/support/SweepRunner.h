@@ -38,10 +38,28 @@ public:
   /// over the workers; blocks until all cells finished. Cells must be
   /// independent: they may share read-only inputs but must write only to
   /// their own result slot. A serial in-order run is used when the pool
-  /// has a single thread (or a single cell).
-  void run(size_t Cells, const std::function<void(size_t)> &Cell) const;
+  /// has a single thread (or a single cell); that path performs no
+  /// allocation.
+  void run(size_t Cells, const std::function<void(size_t)> &Cell) const {
+    run(Cells, Cell, 1);
+  }
+
+  /// Like run(), but workers claim \p Chunk consecutive cells per grab
+  /// of the shared atomic cursor (chunked self-scheduling). Larger
+  /// chunks cut cursor contention and keep cells that touch adjacent
+  /// state on the same worker; chunk 1 maximizes balance for wildly
+  /// skewed cell costs. Scheduling stays dynamic either way — a worker
+  /// stuck on an expensive chunk never idles the others.
+  void run(size_t Cells, const std::function<void(size_t)> &Cell,
+           size_t Chunk) const;
 
   unsigned threads() const { return NumThreads; }
+
+  /// True while the calling thread is executing a sweep cell. Used to
+  /// keep parallelism single-level: code that can fan out internally
+  /// (MemoryHierarchy::replayParallel) runs serially when it is already
+  /// inside a worker, instead of oversubscribing the machine.
+  static bool inWorker();
 
   /// Hardware concurrency, overridable via CCL_SWEEP_THREADS.
   static unsigned defaultThreads();

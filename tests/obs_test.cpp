@@ -399,6 +399,8 @@ TEST(TraceExport, JsonlRoundTripRebuildsIdenticalProfile) {
     case TraceRecord::Kind::Prefetch:
       Replayed->onPrefetch(Record.Prefetch);
       break;
+    case TraceRecord::Kind::Shard:
+      break; // No replayParallel calls in this run.
     }
   });
   std::fclose(F);
@@ -461,6 +463,72 @@ TEST(ProfileExport, JsonAndCsvCarrySchemaAndRegions) {
   std::fclose(Csv);
   EXPECT_EQ(CsvText.rfind("region,color,reads,", 0), 0u);
   EXPECT_NE(CsvText.find("btree,hot,1,0,1,1,"), std::string::npos);
+}
+
+TEST(TraceExport, ShardTelemetryRoundTripsThroughDumpAndProfile) {
+  AttributionConfig Config;
+  std::FILE *F = std::tmpfile();
+  ASSERT_NE(F, nullptr);
+  TraceSink Trace(F, Config);
+
+  ReplayShardingEvent Parallel;
+  Parallel.Shards = 256;
+  Parallel.Groups = 16;
+  Parallel.Workers = 5;
+  Parallel.Records = 100000;
+  Parallel.MinShardRecords = 300;
+  Parallel.MaxShardRecords = 500;
+  Parallel.Parallel = true;
+  Trace.onReplaySharding(Parallel);
+
+  ReplayShardingEvent Serial;
+  Serial.Shards = 256;
+  Serial.Records = 2000;
+  Serial.Reason = "single-thread pool";
+  Trace.onReplaySharding(Serial);
+
+  std::rewind(F);
+  ReplayShardingSummary Summary;
+  uint64_t ShardLines = 0;
+  long Parsed = readTraceFile(F, [&](const TraceRecord &Record) {
+    if (Record.RecordKind != TraceRecord::Kind::Shard)
+      return;
+    ++ShardLines;
+    Summary.add(Record.Sharding);
+  });
+  std::fclose(F);
+  EXPECT_EQ(uint64_t(Parsed), Trace.linesWritten());
+  ASSERT_EQ(ShardLines, 2u);
+  EXPECT_EQ(Summary.Replays, 2u);
+  EXPECT_EQ(Summary.ParallelReplays, 1u);
+  EXPECT_EQ(Summary.Records, 102000u);
+  EXPECT_EQ(Summary.Shards, 256u);
+  EXPECT_EQ(Summary.Workers, 5u);
+  EXPECT_NEAR(Summary.MaxImbalance, 500.0 * 256 / 100000, 1e-9);
+  EXPECT_EQ(Summary.LastSerialReason, "single-thread pool");
+
+  // The summary rides along in the profile JSON — and only when it saw
+  // replays, so pre-sharding dumps keep producing byte-stable output.
+  RegionRegistry Registry;
+  AttributionSink Sink(Registry, Config);
+  Sink.finalize();
+  std::FILE *Json = std::tmpfile();
+  ASSERT_NE(Json, nullptr);
+  writeProfileJson(Sink, Json, &Summary);
+  std::string WithShards = slurp(Json);
+  std::fclose(Json);
+  EXPECT_NE(WithShards.find("\"replay_sharding\":{\"replays\":2"),
+            std::string::npos);
+  EXPECT_NE(WithShards.find("\"serial_reason\":\"single-thread pool\""),
+            std::string::npos);
+
+  ReplayShardingSummary Empty;
+  Json = std::tmpfile();
+  ASSERT_NE(Json, nullptr);
+  writeProfileJson(Sink, Json, &Empty);
+  std::string WithoutShards = slurp(Json);
+  std::fclose(Json);
+  EXPECT_EQ(WithoutShards.find("replay_sharding"), std::string::npos);
 }
 
 TEST(MultiObserver, FansOutInAttachOrder) {

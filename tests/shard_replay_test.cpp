@@ -1,0 +1,434 @@
+//===- tests/shard_replay_test.cpp - Sharded replay parity ----------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// The sharded parallel replay engine's contract is bit-identity: for any
+// sealed recording and any hierarchy configuration, replayParallel must
+// leave a MemoryHierarchy in a state indistinguishable from a serial
+// replay of the same span — SimStats, cache and TLB counters, now(),
+// and (tested by continuing to drive both hierarchies afterwards) all
+// state future accesses can observe. This suite checks that parity on
+// both Table 1 presets, on randomized configurations and traces, across
+// phased (multi-cut) replays, and on every serial-fallback path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/MemoryHierarchy.h"
+#include "sim/TraceBuffer.h"
+#include "sim/TraceShardIndex.h"
+#include "support/SweepRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+using namespace ccl;
+using namespace ccl::sim;
+
+namespace {
+
+// Hermetic 64-bit LCG (MMIX constants), as in sim_golden_test.
+struct Lcg {
+  uint64_t State;
+  explicit Lcg(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    return State >> 17;
+  }
+  uint64_t bounded(uint64_t N) { return next() % N; }
+};
+
+/// Every externally observable number a hierarchy exposes.
+using Snapshot = std::array<uint64_t, 24>;
+
+Snapshot snap(const MemoryHierarchy &M) {
+  const SimStats &S = M.stats();
+  return {S.Reads,          S.Writes,
+          S.L1Hits,         S.L1Misses,
+          S.L2Hits,         S.L2Misses,
+          S.TlbMisses,      S.Writebacks,
+          S.SwPrefetches,   S.HwPrefetches,
+          S.PrefetchFullHits, S.PrefetchPartialHits,
+          S.BusyCycles,     S.L1StallCycles,
+          S.L2StallCycles,  S.TlbStallCycles,
+          S.PrefetchIssueCycles, M.now(),
+          M.l1().hits(),    M.l1().evictions(),
+          M.l2().hits(),    M.l2().evictions(),
+          M.tlb().hits(),   M.tlb().misses()};
+}
+
+void expectSame(const Snapshot &Serial, const Snapshot &Sharded,
+                const std::string &Label) {
+  SCOPED_TRACE(Label);
+  for (size_t I = 0; I < Serial.size(); ++I)
+    EXPECT_EQ(Serial[I], Sharded[I]) << "counter " << I;
+}
+
+/// A mixed trace: pointer-chase reads, strided writes, block-spanning
+/// and odd (varint-encoded) sizes, size-0 touches, and compute ticks.
+TraceBuffer mixedTrace(uint64_t Seed, size_t Records,
+                       uint64_t Span = 8ULL << 20) {
+  TraceBuffer Buf;
+  Lcg Rng(Seed);
+  const uint64_t Base = 0x7f0000000000ULL + (Seed & 0xFFF) * 4096;
+  const uint64_t Sizes[] = {0, 1, 2, 4, 8, 16, 48, 64, 100, 128};
+  uint64_t Node = 0;
+  for (size_t I = 0; I < Records; ++I) {
+    uint64_t Roll = Rng.bounded(100);
+    if (Roll < 5) {
+      Buf.recordTick(1 + Rng.bounded(20));
+      continue;
+    }
+    uint64_t Addr;
+    if (Roll < 70) {
+      // Pointer chase over 64-byte nodes.
+      Addr = Base + Node * 64;
+      Node = Rng.bounded(Span / 64);
+    } else {
+      // Random byte address (unaligned accesses cross blocks).
+      Addr = Base + Rng.bounded(Span);
+    }
+    uint64_t Size = Sizes[Rng.bounded(sizeof(Sizes) / sizeof(Sizes[0]))];
+    if (Roll % 4 == 3)
+      Buf.recordWrite(Addr, Size);
+    else
+      Buf.recordRead(Addr, Size);
+  }
+  Buf.seal();
+  return Buf;
+}
+
+/// Serial reference replay of a cut span through the same index (the
+/// fallback cursors), into \p M.
+void serialReplay(MemoryHierarchy &M, const TraceShardIndex &Index,
+                  size_t CutA, size_t CutB) {
+  TraceCursor Cursor = Index.originalCursorAt(CutA);
+  M.replay(Cursor, Index.recordsAt(CutB) - Index.recordsAt(CutA));
+}
+
+} // namespace
+
+TEST(ShardKeySpec, Table1PresetsNest) {
+  // E5000: L1 16KB/16B DM -> set bits [4,14); L2 64B blocks -> key
+  // window [6,14): 256 shards. RSIM: L1 16KB/128B DM -> set bits
+  // [7,14); L2 128B blocks -> key window [7,14): 128 shards.
+  ShardKeySpec E5000 =
+      ShardKeySpec::fromConfig(HierarchyConfig::ultraSparcE5000());
+  EXPECT_TRUE(E5000.Nested);
+  EXPECT_TRUE(E5000.shardable());
+  EXPECT_EQ(E5000.KeyShift, 6u);
+  EXPECT_EQ(E5000.KeyBits, 8u);
+  EXPECT_EQ(E5000.numShards(), 256u);
+
+  ShardKeySpec Rsim = ShardKeySpec::fromConfig(HierarchyConfig::rsimTable1());
+  EXPECT_TRUE(Rsim.Nested);
+  EXPECT_TRUE(Rsim.shardable());
+  EXPECT_EQ(Rsim.KeyShift, 7u);
+  EXPECT_EQ(Rsim.KeyBits, 7u);
+  EXPECT_EQ(Rsim.numShards(), 128u);
+}
+
+TEST(ShardKeySpec, RejectsNonNestedGeometries) {
+  // L1 frame (32KB direct-mapped) larger than the L2 frame (16KB =
+  // 32KB 2-way): the L1 set-index bits stick out above the L2 ones.
+  HierarchyConfig Wide;
+  Wide.L1 = {32 * 1024, 32, 1, 1};
+  Wide.L2 = {32 * 1024, 64, 2, 6};
+  ASSERT_TRUE(Wide.isValid());
+  ShardKeySpec Spec = ShardKeySpec::fromConfig(Wide);
+  EXPECT_FALSE(Spec.Nested);
+  EXPECT_FALSE(Spec.shardable());
+  EXPECT_STRNE(Spec.Reason, "");
+
+  // One L2 block covering the whole (tiny) L1: nested but a single shard.
+  HierarchyConfig Tiny;
+  Tiny.L1 = {512, 32, 1, 1};
+  Tiny.L2 = {64 * 1024, 512, 1, 6};
+  ASSERT_TRUE(Tiny.isValid());
+  Spec = ShardKeySpec::fromConfig(Tiny);
+  EXPECT_TRUE(Spec.Nested);
+  EXPECT_FALSE(Spec.shardable());
+
+  // Hardware next-line prefetching couples sets through the cycle clock.
+  HierarchyConfig Prefetching = HierarchyConfig::ultraSparcE5000();
+  Prefetching.Prefetch.NextLineDegree = 2;
+  Spec = ShardKeySpec::fromConfig(Prefetching);
+  EXPECT_FALSE(Spec.shardable());
+}
+
+TEST(ShardReplay, FullSpanParityBothPresets) {
+  SweepRunner Pool(4);
+  for (const char *Preset : {"e5000", "rsim"}) {
+    HierarchyConfig Config = std::string(Preset) == "e5000"
+                                 ? HierarchyConfig::ultraSparcE5000()
+                                 : HierarchyConfig::rsimTable1();
+    TraceBuffer Buf = mixedTrace(0x5EED0 + Config.MemoryLatency, 120000);
+    TraceShardIndex Index(Buf.view(), Config, {}, Pool.threads());
+    ASSERT_TRUE(Index.sharded()) << Index.serialReason();
+
+    MemoryHierarchy Serial(Config);
+    Serial.replay(Buf.view());
+
+    MemoryHierarchy Sharded(Config);
+    obs::ReplayShardingEvent Event = Sharded.replayParallel(Index, Pool);
+    EXPECT_TRUE(Event.Parallel) << Event.Reason;
+    EXPECT_EQ(Event.Records, Sharded.stats().memoryReferences());
+    EXPECT_GE(Event.MaxShardRecords, Event.MinShardRecords);
+    EXPECT_GE(Event.imbalance(), 1.0);
+
+    expectSame(snap(Serial), snap(Sharded), Preset);
+  }
+}
+
+TEST(ShardReplay, PhasedReplayMatchesSerialSnapshots) {
+  // fig10's shape: a warmup span, then a measured window, with
+  // statistics snapshots taken at the cut. Each phase of the parallel
+  // replay must land on the serial phase snapshot exactly.
+  SweepRunner Pool(4);
+  HierarchyConfig Config = HierarchyConfig::ultraSparcE5000();
+  TraceBuffer Buf = mixedTrace(0xF16'0A11, 90000);
+  size_t N = Buf.records();
+  std::vector<size_t> Marks = {N / 4, N / 2};
+  TraceShardIndex Index(Buf.view(), Config, Marks, Pool.threads());
+  ASSERT_TRUE(Index.sharded());
+  ASSERT_EQ(Index.numCuts(), 4u);
+
+  MemoryHierarchy Serial(Config);
+  MemoryHierarchy Sharded(Config);
+  TraceCursor SerialCursor(Buf.view());
+  size_t Consumed = 0;
+  for (size_t Cut = 1; Cut < Index.numCuts(); ++Cut) {
+    Serial.replay(SerialCursor, Index.recordsAt(Cut) - Consumed);
+    Consumed = Index.recordsAt(Cut);
+    obs::ReplayShardingEvent Event =
+        Sharded.replayParallel(Index, Cut - 1, Cut, Pool);
+    EXPECT_TRUE(Event.Parallel) << Event.Reason;
+    expectSame(snap(Serial), snap(Sharded),
+               "after phase " + std::to_string(Cut));
+  }
+}
+
+TEST(ShardReplay, HierarchyStaysUsableAfterParallelReplay) {
+  // Bit-identity must extend to state later accesses observe: tags,
+  // recency, dirty bits, translation, and TLB residency. Drive both
+  // hierarchies with more traffic (live calls and a serial second
+  // replay) after the parallel pass and compare every counter again.
+  SweepRunner Pool(4);
+  HierarchyConfig Config = HierarchyConfig::rsimTable1();
+  TraceBuffer Buf = mixedTrace(0xC0411, 60000);
+  TraceShardIndex Index(Buf.view(), Config, {}, Pool.threads());
+  ASSERT_TRUE(Index.sharded());
+
+  MemoryHierarchy Serial(Config);
+  Serial.replay(Buf.view());
+  MemoryHierarchy Sharded(Config);
+  ASSERT_TRUE(Sharded.replayParallel(Index, Pool).Parallel);
+
+  // Mixed live traffic touching both previously-seen and fresh units.
+  Lcg Rng(0xAF7E2);
+  for (unsigned I = 0; I < 20000; ++I) {
+    uint64_t Addr = 0x7f0000000000ULL + Rng.bounded(16ULL << 20);
+    if (I % 3 == 0)
+      Serial.write(Addr, 8), Sharded.write(Addr, 8);
+    else
+      Serial.read(Addr, 16), Sharded.read(Addr, 16);
+  }
+  // And a full serial re-replay of the same recording on both.
+  Serial.replay(Buf.view());
+  Sharded.replay(Buf.view());
+  expectSame(snap(Serial), snap(Sharded), "after continued use");
+}
+
+TEST(ShardReplay, SerialFallbacksStayBitIdentical) {
+  SweepRunner Pool(4);
+  HierarchyConfig Config = HierarchyConfig::ultraSparcE5000();
+  TraceBuffer Buf = mixedTrace(0xFA11BACC, 40000);
+
+  auto serialSnap = [&] {
+    MemoryHierarchy M(Config);
+    M.replay(Buf.view());
+    return snap(M);
+  };
+  Snapshot Reference = serialSnap();
+
+  {
+    // Single-worker hint: the index skips sub-stream construction.
+    TraceShardIndex Index(Buf.view(), Config, {}, 1);
+    EXPECT_FALSE(Index.sharded());
+    MemoryHierarchy M(Config);
+    obs::ReplayShardingEvent Event = M.replayParallel(Index, Pool);
+    EXPECT_FALSE(Event.Parallel);
+    EXPECT_STREQ(Event.Reason, "single worker");
+    expectSame(Reference, snap(M), "single-worker-hint fallback");
+  }
+  {
+    // Single-thread pool at replay time (the 1-vCPU path).
+    TraceShardIndex Index(Buf.view(), Config, {}, 4);
+    SweepRunner OneThread(1);
+    MemoryHierarchy M(Config);
+    obs::ReplayShardingEvent Event = M.replayParallel(Index, OneThread);
+    EXPECT_FALSE(Event.Parallel);
+    expectSame(Reference, snap(M), "single-thread-pool fallback");
+  }
+  {
+    // Called from inside a sweep worker: nested parallelism is refused.
+    TraceShardIndex Index(Buf.view(), Config, {}, 4);
+    std::vector<Snapshot> Cells(3);
+    std::vector<bool> Parallel(3, true);
+    Pool.run(3, [&](size_t I) {
+      MemoryHierarchy M(Config);
+      Parallel[I] = M.replayParallel(Index, Pool).Parallel;
+      Cells[I] = snap(M);
+    });
+    for (size_t I = 0; I < 3; ++I) {
+      EXPECT_FALSE(Parallel[I]);
+      expectSame(Reference, Cells[I], "nested fallback");
+    }
+  }
+  {
+    // Hierarchy whose translation state does not match the cut: replay
+    // unrelated traffic first, then ask for a parallel replay.
+    TraceShardIndex Index(Buf.view(), Config, {}, 4);
+    MemoryHierarchy Dirty(Config);
+    Dirty.read(0x7fee00000000ULL, 8);
+    MemoryHierarchy SerialTwin(Config);
+    SerialTwin.read(0x7fee00000000ULL, 8);
+    obs::ReplayShardingEvent Event = Dirty.replayParallel(Index, Pool);
+    EXPECT_FALSE(Event.Parallel);
+    SerialTwin.replay(Buf.view());
+    expectSame(snap(SerialTwin), snap(Dirty), "state-mismatch fallback");
+  }
+  {
+    // Software prefetch records: index keeps cuts but refuses to shard.
+    TraceBuffer PfBuf;
+    for (unsigned I = 0; I < 5000; ++I) {
+      uint64_t Addr = 0x7f5600000000ULL + uint64_t(I) * 64;
+      PfBuf.recordPrefetch(Addr + 4 * 64);
+      PfBuf.recordRead(Addr, 8);
+      PfBuf.recordTick(20);
+    }
+    PfBuf.seal();
+    TraceShardIndex Index(PfBuf.view(), Config, {}, 4);
+    EXPECT_FALSE(Index.sharded());
+    MemoryHierarchy SerialM(Config);
+    SerialM.replay(PfBuf.view());
+    MemoryHierarchy M(Config);
+    EXPECT_FALSE(M.replayParallel(Index, Pool).Parallel);
+    expectSame(snap(SerialM), snap(M), "sw-prefetch fallback");
+  }
+}
+
+TEST(ShardReplay, ObserverForcesSerialAndReportsSharding) {
+  struct ShardingTally final : obs::SimObserver {
+    uint64_t Accesses = 0;
+    std::vector<obs::ReplayShardingEvent> Events;
+    void onAccess(const obs::AccessEvent &) override { ++Accesses; }
+    void onReplaySharding(const obs::ReplayShardingEvent &E) override {
+      Events.push_back(E);
+    }
+  };
+  SweepRunner Pool(4);
+  HierarchyConfig Config = HierarchyConfig::ultraSparcE5000();
+  TraceBuffer Buf = mixedTrace(0x0B5, 30000);
+  TraceShardIndex Index(Buf.view(), Config, {}, 4);
+  ASSERT_TRUE(Index.sharded());
+
+  MemoryHierarchy SerialM(Config);
+  SerialM.replay(Buf.view());
+
+  MemoryHierarchy M(Config);
+  ShardingTally Tally;
+  M.attachObserver(&Tally);
+  obs::ReplayShardingEvent Event = M.replayParallel(Index, Pool);
+  EXPECT_FALSE(Event.Parallel);
+  ASSERT_EQ(Tally.Events.size(), 1u);
+  EXPECT_FALSE(Tally.Events[0].Parallel);
+  // The event still carries the index's shard geometry and skew.
+  EXPECT_EQ(Tally.Events[0].Shards, Index.numShards());
+  EXPECT_EQ(Tally.Events[0].Records, M.stats().memoryReferences());
+  EXPECT_EQ(Tally.Accesses, M.stats().memoryReferences());
+  expectSame(snap(SerialM), snap(M), "observed fallback");
+}
+
+TEST(ShardReplay, RandomizedConfigAndTraceParity) {
+  // Property check over randomized cache geometries and recordings:
+  // whatever the geometry (nested or not, TLB on or off), the parallel
+  // entry point must match a serial replay bit for bit. Seeds are fixed
+  // so failures reproduce.
+  SweepRunner Pool(4);
+  unsigned ShardedRuns = 0;
+  for (uint64_t Seed = 1; Seed <= 24; ++Seed) {
+    Lcg Rng(Seed * 0x9E3779B9ULL);
+    HierarchyConfig Config;
+    Config.L1.BlockBytes = 16u << Rng.bounded(4);          // 16..128
+    Config.L1.Associativity = 1u << Rng.bounded(2);        // 1..2
+    Config.L1.CapacityBytes =
+        (4096ULL << Rng.bounded(4)) * Config.L1.Associativity;
+    Config.L1.HitLatency = 1;
+    Config.L2.BlockBytes = Config.L1.BlockBytes << Rng.bounded(3);
+    Config.L2.Associativity = 1u << Rng.bounded(3);        // 1..4
+    Config.L2.CapacityBytes =
+        (64 * 1024ULL << Rng.bounded(5)) * Config.L2.Associativity;
+    Config.L2.HitLatency = 4 + uint32_t(Rng.bounded(8));
+    Config.MemoryLatency = 40 + uint32_t(Rng.bounded(60));
+    Config.Tlb.Enabled = Rng.bounded(4) != 0;
+    Config.Tlb.Entries = 16u << Rng.bounded(3);
+    Config.Tlb.PageBytes = 4096u << Rng.bounded(2);
+    Config.Tlb.MissLatency = 20 + uint32_t(Rng.bounded(40));
+    ASSERT_TRUE(Config.isValid()) << "seed " << Seed;
+
+    TraceBuffer Buf =
+        mixedTrace(Seed, 30000, 2ULL << Rng.bounded(4) << 20);
+    std::vector<size_t> Marks = {Buf.records() / 3};
+    TraceShardIndex Index(Buf.view(), Config, Marks, Pool.threads());
+    ShardedRuns += Index.sharded();
+
+    MemoryHierarchy Serial(Config);
+    Serial.replay(Buf.view());
+
+    MemoryHierarchy Sharded(Config);
+    Sharded.replayParallel(Index, 0, 1, Pool);
+    Sharded.replayParallel(Index, 1, 2, Pool);
+
+    expectSame(snap(Serial), snap(Sharded),
+               "seed " + std::to_string(Seed) +
+                   (Index.sharded() ? " (sharded)" : " (serial)"));
+
+    // The serial fallback cursors cover the same spans exactly.
+    MemoryHierarchy ViaCursors(Config);
+    serialReplay(ViaCursors, Index, 0, 1);
+    serialReplay(ViaCursors, Index, 1, 2);
+    expectSame(snap(Serial), snap(ViaCursors),
+               "seed " + std::to_string(Seed) + " cursors");
+  }
+  // The generator must actually exercise the parallel path.
+  EXPECT_GE(ShardedRuns, 8u);
+}
+
+TEST(ShardReplay, EmptyAndTinySpans) {
+  SweepRunner Pool(4);
+  HierarchyConfig Config = HierarchyConfig::ultraSparcE5000();
+
+  TraceBuffer Empty;
+  Empty.seal();
+  TraceShardIndex EmptyIndex(Empty.view(), Config, {}, 4);
+  MemoryHierarchy M(Config);
+  obs::ReplayShardingEvent Event = M.replayParallel(EmptyIndex, Pool);
+  EXPECT_EQ(Event.Records, 0u);
+  EXPECT_EQ(M.stats().memoryReferences(), 0u);
+  EXPECT_EQ(M.now(), 0u);
+
+  TraceBuffer One;
+  One.recordRead(0x7f0000001234ULL, 8);
+  One.seal();
+  TraceShardIndex OneIndex(One.view(), Config, {}, 4);
+  MemoryHierarchy SerialM(Config);
+  SerialM.replay(One.view());
+  MemoryHierarchy ShardedM(Config);
+  ShardedM.replayParallel(OneIndex, Pool);
+  expectSame(snap(SerialM), snap(ShardedM), "one record");
+}

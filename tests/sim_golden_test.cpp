@@ -401,6 +401,28 @@ TEST(SimGolden, ResetReproducesIdenticalStats) {
   expectEqual(First, collect(M), "after reset");
 }
 
+TraceBuffer recordOps(const std::vector<TraceOp> &Ops) {
+  TraceBuffer Buf;
+  for (const TraceOp &Op : Ops) {
+    switch (Op.Kind) {
+    case 0:
+      Buf.recordRead(Op.Addr, Op.Size);
+      break;
+    case 1:
+      Buf.recordWrite(Op.Addr, Op.Size);
+      break;
+    case 2:
+      Buf.recordPrefetch(Op.Addr);
+      break;
+    case 3:
+      Buf.recordTick(Op.Addr);
+      break;
+    }
+  }
+  Buf.seal();
+  return Buf;
+}
+
 TEST(SimGolden, RecordedReplayMatchesGolden) {
   // The trace engine against the seed-implementation numbers: encoding
   // each golden trace into a TraceBuffer and replaying it through the
@@ -408,28 +430,36 @@ TEST(SimGolden, RecordedReplayMatchesGolden) {
   // so record-once/replay-many can never drift from live simulation
   // without this test (and the seed goldens) noticing.
   for (const GoldenCase &Case : GoldenCases) {
-    TraceBuffer Buf;
-    for (const TraceOp &Op : traceByName(Case.Trace)) {
-      switch (Op.Kind) {
-      case 0:
-        Buf.recordRead(Op.Addr, Op.Size);
-        break;
-      case 1:
-        Buf.recordWrite(Op.Addr, Op.Size);
-        break;
-      case 2:
-        Buf.recordPrefetch(Op.Addr);
-        break;
-      case 3:
-        Buf.recordTick(Op.Addr);
-        break;
-      }
-    }
-    Buf.seal();
+    TraceBuffer Buf = recordOps(traceByName(Case.Trace));
     MemoryHierarchy M(presetByName(Case.Preset, Case.Trace));
     M.replay(Buf.view());
     expectEqual(Case.Expected, collect(M),
                 std::string("replay/") + Case.Trace + "/" + Case.Preset);
+  }
+}
+
+TEST(SimGolden, ShardedReplayMatchesGolden) {
+  // The set-sharded parallel replay engine against the same seed
+  // goldens: splitting each recording into per-set-shard sub-streams
+  // and merging per-shard stats must land on every pinned number, with
+  // the prefetch traces (cycle-coupled across sets) taking the
+  // bit-identical serial fallback instead.
+  SweepRunner Pool(4);
+  for (const GoldenCase &Case : GoldenCases) {
+    TraceBuffer Buf = recordOps(traceByName(Case.Trace));
+    HierarchyConfig Config = presetByName(Case.Preset, Case.Trace);
+    TraceShardIndex Index(Buf.view(), Config, {}, Pool.threads());
+    MemoryHierarchy M(Config);
+    obs::ReplayShardingEvent Event = M.replayParallel(Index, Pool);
+    bool IsPrefetchTrace = std::string(Case.Trace) == "prefetch";
+    EXPECT_EQ(Event.Parallel, !IsPrefetchTrace)
+        << Case.Trace << "/" << Case.Preset << ": " << Event.Reason;
+    if (Event.Parallel) {
+      EXPECT_GT(Event.Shards, 1u);
+      EXPECT_EQ(Event.Records, M.stats().memoryReferences());
+    }
+    expectEqual(Case.Expected, collect(M),
+                std::string("sharded/") + Case.Trace + "/" + Case.Preset);
   }
 }
 
@@ -508,6 +538,38 @@ TEST(SweepRunner, RunsEveryCellExactlyOnce) {
   });
   for (size_t I = 0; I < Cells; ++I)
     EXPECT_EQ(Counts[I].load(), 1u) << "cell " << I;
+}
+
+TEST(SweepRunner, ChunkedRunsEveryCellExactlyOnce) {
+  // Chunked self-scheduling must still be an exact cover of the grid,
+  // including chunk sizes that do not divide the cell count.
+  for (size_t Chunk : {1, 3, 7, 64, 1000, 5000}) {
+    constexpr size_t Cells = 1000;
+    std::vector<std::atomic<uint32_t>> Counts(Cells);
+    SweepRunner Runner(8);
+    Runner.run(
+        Cells,
+        [&](size_t I) { Counts[I].fetch_add(1, std::memory_order_relaxed); },
+        Chunk);
+    for (size_t I = 0; I < Cells; ++I)
+      ASSERT_EQ(Counts[I].load(), 1u) << "chunk " << Chunk << " cell " << I;
+  }
+}
+
+TEST(SweepRunner, InWorkerGuardsNestedParallelism) {
+  // Cells observe inWorker() == true (on both the serial and the pooled
+  // path); outside a run the flag is clear again.
+  EXPECT_FALSE(SweepRunner::inWorker());
+  for (unsigned Threads : {1u, 4u}) {
+    SweepRunner Runner(Threads);
+    std::atomic<uint32_t> InsideCount{0};
+    Runner.run(16, [&](size_t) {
+      if (SweepRunner::inWorker())
+        InsideCount.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(InsideCount.load(), 16u) << Threads << " threads";
+  }
+  EXPECT_FALSE(SweepRunner::inWorker());
 }
 
 TEST(SweepRunner, PropagatesExceptions) {

@@ -185,6 +185,9 @@ int main(int Argc, char **Argv) {
   std::unique_ptr<AttributionSink> Sink;
   std::vector<uint32_t> IdMap = {RegionRegistry::Unknown};
   uint64_t SampleInterval = 1;
+  // Dumps written before the sharded replay engine have no "shard"
+  // lines; the summary then stays empty and is simply not rendered.
+  ReplayShardingSummary Sharding;
   auto localId = [&](uint32_t TraceId) {
     return TraceId < IdMap.size() ? IdMap[TraceId] : RegionRegistry::Unknown;
   };
@@ -233,6 +236,9 @@ int main(int Argc, char **Argv) {
       if (Chrome)
         Chrome->prefetch(Record.Prefetch);
       break;
+    case TraceRecord::Kind::Shard:
+      Sharding.add(Record.Sharding);
+      break;
     }
   });
   if (In != stdin)
@@ -257,10 +263,22 @@ int main(int Argc, char **Argv) {
                   SampleInterval);
     std::printf("\n\n");
     Sink->printReport();
+    if (Sharding.any()) {
+      std::printf("\nreplay sharding: %" PRIu64 " replay(s), %" PRIu64
+                  " parallel, %" PRIu64 " block accesses\n",
+                  Sharding.Replays, Sharding.ParallelReplays,
+                  Sharding.Records);
+      std::printf("  shards %" PRIu32 ", workers %" PRIu32
+                  ", worst imbalance %.2fx\n",
+                  Sharding.Shards, Sharding.Workers, Sharding.MaxImbalance);
+      if (!Sharding.LastSerialReason.empty())
+        std::printf("  last serial fallback: %s\n",
+                    Sharding.LastSerialReason.c_str());
+    }
   }
   if (!JsonPath.empty()) {
     if (std::FILE *Out = openOut(JsonPath)) {
-      writeProfileJson(*Sink, Out);
+      writeProfileJson(*Sink, Out, &Sharding);
       closeOut(Out);
     } else {
       return 1;
