@@ -91,6 +91,18 @@ inline std::string benchOutPath(int Argc, char **Argv) {
   return {};
 }
 
+/// Path for a ccl-metrics-v1 runtime-metrics dump: `--metrics <path>` /
+/// `--metrics=<path>` beats the CCL_METRICS_OUT environment variable;
+/// empty means disabled ("-" = stdout).
+inline std::string metricsOutPath(int Argc, char **Argv) {
+  std::string Path = flagValue(Argc, Argv, "--metrics");
+  if (!Path.empty())
+    return Path;
+  if (const char *Env = std::getenv("CCL_METRICS_OUT"))
+    return Env;
+  return {};
+}
+
 /// Accumulates one benchmark run's results and writes them as a single
 /// JSON document (schema ccl-bench-v1):
 ///

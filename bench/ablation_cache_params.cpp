@@ -77,6 +77,11 @@ int main(int Argc, char **Argv) {
   // with results identical to a serial sweep (rows are assembled by cell
   // index afterwards).
   std::vector<std::vector<std::string>> Rows(Geometries.size());
+  // Raw per-cell numbers for the machine-readable summary (--out).
+  struct CellOut {
+    double MeasuredSpeedup = 0, PredictedSpeedup = 0, Rs = 0, MissRate = 0;
+  };
+  std::vector<CellOut> Out(Geometries.size());
   SweepRunner Runner;
   Runner.run(Geometries.size(), [&](size_t Cell) {
     const Geometry &G = Geometries[Cell];
@@ -104,6 +109,9 @@ int main(int Argc, char **Argv) {
                       "x",
                   TablePrinter::fmt(Model.reuseRs(), 2),
                   TablePrinter::fmt(Model.ccMissRate(), 3)};
+    Out[Cell] = {double(RandomCycles) / double(CtreeCycles),
+                 Model.predictedSpeedup(Timings), Model.reuseRs(),
+                 Model.ccMissRate()};
   });
   for (const auto &Row : Rows)
     Table.addRow(Row);
@@ -112,5 +120,18 @@ int main(int Argc, char **Argv) {
               "the naive layout also improves with\nbigger caches, so the "
               "measured gap can close faster than the worst-case-naive "
               "prediction.\n");
+
+  bench::BenchJson Json("ablation_cache_params", Full);
+  for (size_t I = 0; I < Geometries.size(); ++I) {
+    Json.beginResult(TablePrinter::fmtInt(Geometries[I].CapacityKB) +
+                     "KB/a" + TablePrinter::fmtInt(Geometries[I].Assoc));
+    Json.integer("l2_capacity_kb", Geometries[I].CapacityKB);
+    Json.integer("l2_assoc", Geometries[I].Assoc);
+    Json.num("measured_speedup", Out[I].MeasuredSpeedup);
+    Json.num("predicted_speedup", Out[I].PredictedSpeedup);
+    Json.num("model_rs", Out[I].Rs);
+    Json.num("cc_miss_rate", Out[I].MissRate);
+  }
+  Json.writeIfRequested(bench::benchOutPath(Argc, Argv));
   return 0;
 }

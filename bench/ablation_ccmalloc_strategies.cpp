@@ -135,5 +135,23 @@ int main(int Argc, char **Argv) {
   }
   Control.print();
   std::printf("(paper: control programs ran 2-6%% worse than base)\n");
+
+  bench::BenchJson Json("ablation_ccmalloc_strategies", Full);
+  const char *VariantNames[] = {"base", "first-fit", "closest", "new-block",
+                                "null-hint"};
+  for (size_t B = 0; B < Benchmarks.size(); ++B) {
+    double BaseCycles =
+        double(ResultFor(B, Variant::Base).Stats.totalCycles());
+    for (size_t I = 0; I < NumVariants; ++I) {
+      const BenchResult &R = Grid[B * NumVariants + I];
+      Json.beginResult(Benchmarks[B].Name);
+      Json.str("strategy", VariantNames[I]);
+      Json.num("norm_time",
+               100.0 * double(R.Stats.totalCycles()) / BaseCycles);
+      Json.integer("total_cycles", R.Stats.totalCycles());
+      Json.integer("heap_bytes", R.HeapFootprintBytes);
+    }
+  }
+  Json.writeIfRequested(bench::benchOutPath(Argc, Argv));
   return 0;
 }

@@ -69,6 +69,13 @@ int main(int Argc, char **Argv) {
   };
   const std::vector<Fraction> Fractions = {{0}, {8}, {4}, {2}, {3}};
   std::vector<std::vector<std::string>> Rows(Fractions.size());
+  // Raw per-cell numbers for the machine-readable summary (--out).
+  struct CellOut {
+    uint64_t HotSets = 0;
+    std::string Label;
+    double HotLevels = 0, CyclesPerSearch = 0, MissRate = 0;
+  };
+  std::vector<CellOut> Out(Fractions.size());
   SweepRunner Runner;
   Runner.run(Fractions.size(), [&](size_t Cell) {
     unsigned Denominator = Fractions[Cell].Denominator;
@@ -97,6 +104,8 @@ int main(int Argc, char **Argv) {
                   TablePrinter::fmt(HotLevels, 1),
                   TablePrinter::fmt(double(Cycles) / Window, 1),
                   TablePrinter::fmt(MissRate, 3)};
+    Out[Cell] = {Params.HotSets, Rows[Cell][1], HotLevels,
+                 double(Cycles) / Window, MissRate};
   });
   for (const auto &Row : Rows)
     Table.addRow(Row);
@@ -104,5 +113,15 @@ int main(int Argc, char **Argv) {
   std::printf("\nThe paper's choice (p = c/2) sits near the sweet spot: "
               "each doubling of p buys one more\nresident tree level "
               "(+1 to Rs) while halving the cold region.\n");
+
+  bench::BenchJson Json("ablation_coloring", Full);
+  for (const CellOut &C : Out) {
+    Json.beginResult(C.Label);
+    Json.integer("hot_sets", C.HotSets);
+    Json.num("hot_levels_cached", C.HotLevels);
+    Json.num("cycles_per_search", C.CyclesPerSearch);
+    Json.num("model_miss_rate", C.MissRate);
+  }
+  Json.writeIfRequested(bench::benchOutPath(Argc, Argv));
   return 0;
 }

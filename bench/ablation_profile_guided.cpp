@@ -86,6 +86,11 @@ int main(int Argc, char **Argv) {
   // serially in cell order afterwards (byte-identical table).
   const std::vector<double> Skews = {0.0, 0.6, 0.9, 1.2};
   std::vector<std::vector<std::string>> Rows(Skews.size());
+  // Raw per-cell numbers for the machine-readable summary (--out).
+  struct CellOut {
+    double TopMass = 0, TopoCycles = 0, ProfCycles = 0;
+  };
+  std::vector<CellOut> Out(Skews.size());
   SweepRunner Runner;
   Runner.run(Skews.size(), [&](size_t Cell) {
     double Skew = Skews[Cell];
@@ -118,6 +123,8 @@ int main(int Argc, char **Argv) {
          TablePrinter::fmt(double(TopoCycles) / Window, 1),
          TablePrinter::fmt(double(ProfCycles) / Window, 1),
          bench::speedupStr(double(TopoCycles), double(ProfCycles))};
+    Out[Cell] = {Zipf.topMass(NumKeys / 100), double(TopoCycles) / Window,
+                 double(ProfCycles) / Window};
   });
   for (const auto &Row : Rows)
     Table.addRow(Row);
@@ -126,5 +133,16 @@ int main(int Argc, char **Argv) {
               "is already optimal (the hot set IS the\ntop of the tree); "
               "as skew grows, the measured profile finds the hot paths "
               "that topology cannot.\n");
+
+  bench::BenchJson Json("ablation_profile_guided", Full);
+  for (size_t I = 0; I < Skews.size(); ++I) {
+    Json.beginResult("s=" + TablePrinter::fmt(Skews[I], 1));
+    Json.num("zipf_s", Skews[I]);
+    Json.num("top1pct_mass", Out[I].TopMass);
+    Json.num("topology_cycles_per_search", Out[I].TopoCycles);
+    Json.num("profile_cycles_per_search", Out[I].ProfCycles);
+    Json.num("profile_gain", Out[I].TopoCycles / Out[I].ProfCycles);
+  }
+  Json.writeIfRequested(bench::benchOutPath(Argc, Argv));
   return 0;
 }

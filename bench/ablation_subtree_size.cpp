@@ -76,6 +76,11 @@ int main(int Argc, char **Argv) {
   // rows are assembled in cell order afterwards (byte-identical table).
   const std::vector<uint64_t> Ks = {1, 2, 3, 5, 8, 10};
   std::vector<std::vector<std::string>> Rows(Ks.size());
+  // Raw per-cell numbers for the machine-readable summary (--out).
+  struct CellOut {
+    uint64_t SubtreeCycles = 0, ChainCycles = 0;
+  };
+  std::vector<CellOut> Out(Ks.size());
   SweepRunner Runner;
   Runner.run(Ks.size(), [&](size_t Cell) {
     uint64_t K = Ks[Cell];
@@ -105,6 +110,7 @@ int main(int Argc, char **Argv) {
                                     double(SubtreeCycles)),
                   TablePrinter::fmt(std::log2(double(K) + 1.0), 2),
                   TablePrinter::fmt(ChainK, 2)};
+    Out[Cell] = {SubtreeCycles, ChainCycles};
   });
   for (const auto &Row : Rows)
     Table.addRow(Row);
@@ -112,5 +118,18 @@ int main(int Argc, char **Argv) {
   std::printf("\nPaper shape to check: subtree clustering pulls ahead of "
               "depth-first chains as k grows past 3\n(both colored here; "
               "the separation is the spatial-locality K difference).\n");
+
+  bench::BenchJson Json("ablation_subtree_size", Full);
+  for (size_t I = 0; I < Ks.size(); ++I) {
+    Json.beginResult("k=" + TablePrinter::fmtInt(Ks[I]));
+    Json.integer("k", Ks[I]);
+    Json.integer("subtree_cycles", Out[I].SubtreeCycles);
+    Json.integer("chain_cycles", Out[I].ChainCycles);
+    Json.num("subtree_gain",
+             double(Out[I].ChainCycles) / double(Out[I].SubtreeCycles));
+    Json.num("model_subtree_k", std::log2(double(Ks[I]) + 1.0));
+    Json.num("model_chain_k", 2.0 * (1.0 - std::pow(0.5, double(Ks[I]))));
+  }
+  Json.writeIfRequested(bench::benchOutPath(Argc, Argv));
   return 0;
 }

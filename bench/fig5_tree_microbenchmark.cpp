@@ -31,8 +31,11 @@
 #include "bench/BenchCommon.h"
 #include "obs/Attribution.h"
 #include "obs/Export.h"
+#include "obs/MetricsExport.h"
+#include "obs/PerfCounters.h"
 #include "obs/Region.h"
 #include "sim/AccessPolicy.h"
+#include "support/Metrics.h"
 #include "trees/CompactTree.h"
 #include "support/Random.h"
 #include "support/SweepRunner.h"
@@ -55,6 +58,14 @@ struct SearchSeries {
   std::string Name;
   std::vector<double> CyclesPerSearch;
   std::vector<double> NanosPerSearch;
+  /// Simulated miss totals for each count's cold-start replay, so the
+  /// machine-readable summary can pair them with hardware counts.
+  std::vector<uint64_t> SimL1Misses;
+  std::vector<uint64_t> SimL2Misses;
+  std::vector<uint64_t> SimTlbMisses;
+  /// Hardware counters around each timed native window (--hw only;
+  /// empty otherwise). Readings carry Available=false on denied hosts.
+  std::vector<obs::PerfReading> Hw;
   /// How the replay sweep sharded (replayParallel telemetry).
   obs::ReplayShardingSummary Sharding;
 };
@@ -100,28 +111,32 @@ SeriesDef makeSeries(std::string Name, SearchFn Search) {
 std::vector<SearchSeries>
 measureAll(const std::vector<SeriesDef> &Defs, uint64_t NumKeys,
            const std::vector<uint64_t> &SearchCounts,
-           const sim::HierarchyConfig &Config) {
+           const sim::HierarchyConfig &Config,
+           obs::PerfCounters *Hw = nullptr) {
   size_t Counts = SearchCounts.size();
   std::vector<sim::TraceBuffer> Traces(Defs.size());
   std::vector<std::vector<size_t>> Prefixes(Defs.size());
   SweepRunner Runner;
 
   // Record once per organization (cells share the read-only trees).
-  Runner.run(Defs.size(), [&](size_t S) {
-    sim::RecordAccess RA(Traces[S]);
-    Xoshiro256 Rng(0xF16'5EEDULL);
-    uint64_t MaxCount = SearchCounts.back();
-    size_t NextCount = 0;
-    for (uint64_t I = 0; I < MaxCount; ++I) {
-      Defs[S].RecordSearch(BinarySearchTree::keyAt(Rng.nextBounded(NumKeys)),
-                           RA);
-      while (NextCount < Counts && SearchCounts[NextCount] == I + 1) {
-        Prefixes[S].push_back(Traces[S].records());
-        ++NextCount;
+  {
+    metrics::ScopedSpan RecordSpan("fig5.record");
+    Runner.run(Defs.size(), [&](size_t S) {
+      sim::RecordAccess RA(Traces[S]);
+      Xoshiro256 Rng(0xF16'5EEDULL);
+      uint64_t MaxCount = SearchCounts.back();
+      size_t NextCount = 0;
+      for (uint64_t I = 0; I < MaxCount; ++I) {
+        Defs[S].RecordSearch(
+            BinarySearchTree::keyAt(Rng.nextBounded(NumKeys)), RA);
+        while (NextCount < Counts && SearchCounts[NextCount] == I + 1) {
+          Prefixes[S].push_back(Traces[S].records());
+          ++NextCount;
+        }
       }
-    }
-    Traces[S].seal();
-  });
+      Traces[S].seal();
+    });
+  }
 
   // Replay prefixes: one shard index per organization, every sweep
   // count a cut. Each (organization x count) cell replays its prefix
@@ -134,17 +149,26 @@ measureAll(const std::vector<SeriesDef> &Defs, uint64_t NumKeys,
     Series[S].Name = Defs[S].Name;
     Series[S].CyclesPerSearch.resize(Counts);
     Series[S].NanosPerSearch.resize(Counts);
+    Series[S].SimL1Misses.resize(Counts);
+    Series[S].SimL2Misses.resize(Counts);
+    Series[S].SimTlbMisses.resize(Counts);
   }
-  for (size_t S = 0; S < Defs.size(); ++S) {
-    sim::TraceShardIndex Index(Traces[S].view(), Config, Prefixes[S],
-                               Runner.threads());
-    for (size_t C = 0; C < Counts; ++C) {
-      sim::MemoryHierarchy M(Config);
-      obs::ReplayShardingEvent Event = M.replayParallel(
-          Index, 0, Index.cutForRecords(Prefixes[S][C]), Runner);
-      Series[S].Sharding.add(Event);
-      Series[S].CyclesPerSearch[C] =
-          double(M.now()) / double(SearchCounts[C]);
+  {
+    metrics::ScopedSpan ReplaySpan("fig5.replay");
+    for (size_t S = 0; S < Defs.size(); ++S) {
+      sim::TraceShardIndex Index(Traces[S].view(), Config, Prefixes[S],
+                                 Runner.threads());
+      for (size_t C = 0; C < Counts; ++C) {
+        sim::MemoryHierarchy M(Config);
+        obs::ReplayShardingEvent Event = M.replayParallel(
+            Index, 0, Index.cutForRecords(Prefixes[S][C]), Runner);
+        Series[S].Sharding.add(Event);
+        Series[S].CyclesPerSearch[C] =
+            double(M.now()) / double(SearchCounts[C]);
+        Series[S].SimL1Misses[C] = M.stats().L1Misses;
+        Series[S].SimL2Misses[C] = M.stats().L2Misses;
+        Series[S].SimTlbMisses[C] = M.stats().TlbMisses;
+      }
     }
   }
 
@@ -154,19 +178,30 @@ measureAll(const std::vector<SeriesDef> &Defs, uint64_t NumKeys,
   // still starts from the recorded seed) pages each organization's
   // working set into the host caches before its first timed cell.
   for (size_t S = 0; S < Defs.size(); ++S) {
-    sim::NativeAccess WarmAccess;
-    Xoshiro256 WarmRng(0xC01D'CAFEULL);
-    uint64_t WarmHits = 0;
-    for (uint64_t I = 0; I < NativeWarmupSearches; ++I)
-      WarmHits += Defs[S].NativeSearch(
-          BinarySearchTree::keyAt(WarmRng.nextBounded(NumKeys)),
-          WarmAccess);
-    static volatile uint64_t WarmSink;
-    WarmSink = WarmHits;
-    (void)WarmSink;
+    {
+      metrics::ScopedSpan WarmupSpan("fig5.native_warmup");
+      sim::NativeAccess WarmAccess;
+      Xoshiro256 WarmRng(0xC01D'CAFEULL);
+      uint64_t WarmHits = 0;
+      for (uint64_t I = 0; I < NativeWarmupSearches; ++I)
+        WarmHits += Defs[S].NativeSearch(
+            BinarySearchTree::keyAt(WarmRng.nextBounded(NumKeys)),
+            WarmAccess);
+      static volatile uint64_t WarmSink;
+      WarmSink = WarmHits;
+      (void)WarmSink;
+    }
+    metrics::ScopedSpan WindowSpan("fig5.native_window");
+    if (Hw)
+      Series[S].Hw.resize(Counts);
     for (size_t C = 0; C < Counts; ++C) {
       sim::NativeAccess NA;
       Xoshiro256 Rng2(0xF16'5EEDULL);
+      // The PerfScope brackets exactly the timed window, so hardware
+      // counts and NanosPerSearch describe the same searches.
+      std::unique_ptr<obs::PerfScope> Scope;
+      if (Hw)
+        Scope = std::make_unique<obs::PerfScope>(*Hw, Series[S].Hw[C]);
       Timer T;
       uint64_t Hits = 0;
       for (uint64_t I = 0; I < SearchCounts[C]; ++I)
@@ -177,6 +212,7 @@ measureAll(const std::vector<SeriesDef> &Defs, uint64_t NumKeys,
       (void)Sink;
       Series[S].NanosPerSearch[C] =
           double(T.elapsedNs()) / double(SearchCounts[C]);
+      Scope.reset(); // Stop counters before anything else runs.
     }
   }
   return Series;
@@ -200,6 +236,48 @@ int main(int Argc, char **Argv) {
 
   sim::HierarchyConfig Config = sim::HierarchyConfig::ultraSparcE5000();
   CacheParams Params = CacheParams::fromHierarchy(Config);
+
+  // --hw: wrap every timed native window in a perf_event group so the
+  // summary pairs simulated misses with hardware counts. Constructed
+  // once so a denied host reports one stable reason. Everything below
+  // prints only under the flag — default stdout stays byte-identical.
+  const bool HwFlag = bench::hasFlag(Argc, Argv, "--hw");
+  std::unique_ptr<obs::PerfCounters> Hw;
+  if (HwFlag)
+    Hw = std::make_unique<obs::PerfCounters>();
+
+  auto PrintHwSection = [&](const std::vector<SearchSeries> &All,
+                            const std::vector<uint64_t> &Counts) {
+    if (!HwFlag)
+      return;
+    if (!Hw->available()) {
+      std::printf("\nhw: unavailable (%s)\n", Hw->reason().c_str());
+      return;
+    }
+    std::printf("\nHardware counters per search (--hw; multiplexing-"
+                "corrected):\n");
+    TablePrinter T({"series", "searches", "cycles", "instr", "l1d miss",
+                    "llc miss", "dtlb miss", "run%"});
+    for (const SearchSeries &S : All) {
+      for (size_t I = 0; I < Counts.size(); ++I) {
+        if (I >= S.Hw.size() || !S.Hw[I].Available)
+          continue;
+        const obs::PerfReading &R = S.Hw[I];
+        double N = double(Counts[I]);
+        auto Per = [&](unsigned E) {
+          return R.has(E)
+                     ? TablePrinter::fmt(double(R.Scaled[E]) / N, 1)
+                     : std::string("-");
+        };
+        T.addRow({S.Name, TablePrinter::fmtInt(Counts[I]),
+                  Per(obs::PerfCycles), Per(obs::PerfInstructions),
+                  Per(obs::PerfL1dMisses), Per(obs::PerfLlcMisses),
+                  Per(obs::PerfDtlbMisses),
+                  TablePrinter::fmt(100.0 * R.runningShare(), 0) + "%"});
+      }
+    }
+    T.print();
+  };
 
   std::printf("tree: %" PRIu64 " keys, %.1f MB of nodes (L2 = %.1f MB)\n\n",
               NumKeys, NumKeys * sizeof(BstNode) / 1048576.0,
@@ -236,7 +314,7 @@ int main(int Argc, char **Argv) {
                               return Ctree.search(Key, A) != nullptr;
                             }));
   std::vector<SearchSeries> Series =
-      measureAll(Defs, NumKeys, SearchCounts, Config);
+      measureAll(Defs, NumKeys, SearchCounts, Config, Hw.get());
 
   TablePrinter Cycles({"searches", Series[0].Name, Series[1].Name,
                        Series[2].Name, Series[3].Name});
@@ -259,6 +337,7 @@ int main(int Argc, char **Argv) {
                   TablePrinter::fmt(Series[3].NanosPerSearch[I], 1)});
   std::printf("\nNative nanoseconds per search (host hardware):\n");
   Nanos.print();
+  PrintHwSection(Series, SearchCounts);
 
   size_t Last = SearchCounts.size() - 1;
   double Rand = Series[0].CyclesPerSearch[Last];
@@ -410,7 +489,7 @@ int main(int Argc, char **Argv) {
                                return CCtree.contains(Key, A);
                              }));
   std::vector<SearchSeries> CSeries =
-      measureAll(CDefs, NumKeys, SearchCounts, Config);
+      measureAll(CDefs, NumKeys, SearchCounts, Config, Hw.get());
 
   TablePrinter CCycles({"searches", CSeries[0].Name, CSeries[1].Name,
                         CSeries[2].Name, CSeries[3].Name,
@@ -440,12 +519,22 @@ int main(int Argc, char **Argv) {
               bench::speedupStr(CBt, CCt).c_str());
   std::printf("  C-tree vs B-tree(.50):      %s  (paper: ~1.5x)\n",
               bench::speedupStr(CBtHalf, CCt).c_str());
+  if (HwFlag && Hw->available())
+    PrintHwSection(CSeries, SearchCounts);
 
   // Machine-readable summary (--out <path> / CCL_BENCH_OUT).
   bench::BenchJson Json("fig5", Full);
   Json.beginResult("(meta)");
   Json.str("section", "meta");
   Json.integer("native_warmup_searches", NativeWarmupSearches);
+  if (HwFlag) {
+    Json.beginResult("(hw)");
+    Json.str("section", "meta");
+    Json.str("metric", "hw");
+    Json.str("hw_available", Hw->available() ? "yes" : "no");
+    if (!Hw->available())
+      Json.str("hw_reason", Hw->reason());
+  }
   auto AddSeries = [&](const char *Section,
                        const std::vector<SearchSeries> &All) {
     for (const SearchSeries &S : All) {
@@ -455,6 +544,25 @@ int main(int Argc, char **Argv) {
         Json.integer("searches", SearchCounts[I]);
         Json.num("cycles_per_search", S.CyclesPerSearch[I]);
         Json.num("nanos_per_search", S.NanosPerSearch[I]);
+        Json.integer("sim_l1_misses", S.SimL1Misses[I]);
+        Json.integer("sim_l2_misses", S.SimL2Misses[I]);
+        Json.integer("sim_tlb_misses", S.SimTlbMisses[I]);
+        // Paired hardware counts (--hw with perf available): same
+        // document, so cclstat --bench can build the divergence table.
+        if (I < S.Hw.size() && S.Hw[I].Available) {
+          const obs::PerfReading &R = S.Hw[I];
+          auto HwField = [&](const char *Key, unsigned E) {
+            if (R.has(E))
+              Json.integer(Key, uint64_t(R.Scaled[E]));
+          };
+          HwField("hw_cycles", obs::PerfCycles);
+          HwField("hw_instructions", obs::PerfInstructions);
+          HwField("hw_l1d_misses", obs::PerfL1dMisses);
+          HwField("hw_llc_misses", obs::PerfLlcMisses);
+          HwField("hw_dtlb_misses", obs::PerfDtlbMisses);
+          Json.integer("hw_time_enabled_ns", R.TimeEnabledNs);
+          Json.integer("hw_time_running_ns", R.TimeRunningNs);
+        }
       }
       Json.beginResult(S.Name);
       Json.str("section", Section);
@@ -471,5 +579,6 @@ int main(int Argc, char **Argv) {
   AddSeries("64bit", Series);
   AddSeries("compact", CSeries);
   Json.writeIfRequested(bench::benchOutPath(Argc, Argv));
+  obs::dumpProcessMetrics(bench::metricsOutPath(Argc, Argv));
   return 0;
 }

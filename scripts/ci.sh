@@ -56,11 +56,47 @@ if [[ "${CCL_BENCH_ARTIFACTS:-0}" == "1" ]]; then
     --out "$ART/BENCH_allocator_throughput.json"
   build-bench/bench/micro_morph_throughput \
     --out "$ART/BENCH_morph_throughput.json"
-  build-bench/bench/fig5_tree_microbenchmark \
-    --out "$ART/BENCH_fig5.json"
-  build-bench/bench/fig6_macrobenchmarks --out "$ART/BENCH_fig6.json"
-  build-bench/bench/fig7_olden --out "$ART/BENCH_fig7.json"
+  # Figure benches also dump their runtime-metrics registries
+  # (ccl-metrics-v1) next to the bench JSON; fig5 additionally runs
+  # --hw so the artifact records hardware-counter availability (and,
+  # on perf-capable runners, the paired sim/hw miss counts).
+  build-bench/bench/fig5_tree_microbenchmark --hw \
+    --out "$ART/BENCH_fig5.json" --metrics "$ART/METRICS_fig5.jsonl"
+  build-bench/bench/fig6_macrobenchmarks --out "$ART/BENCH_fig6.json" \
+    --metrics "$ART/METRICS_fig6.jsonl"
+  build-bench/bench/fig7_olden --out "$ART/BENCH_fig7.json" \
+    --metrics "$ART/METRICS_fig7.jsonl"
   build-bench/bench/fig10_model_validation --out "$ART/BENCH_fig10.json"
+  build-bench/bench/ablation_coloring --out "$ART/BENCH_ablation_coloring.json"
+  build-bench/bench/ablation_cache_params \
+    --out "$ART/BENCH_ablation_cache_params.json"
+  build-bench/bench/ablation_ccmalloc_strategies \
+    --out "$ART/BENCH_ablation_ccmalloc_strategies.json"
+  build-bench/bench/ablation_profile_guided \
+    --out "$ART/BENCH_ablation_profile_guided.json"
+  build-bench/bench/ablation_subtree_size \
+    --out "$ART/BENCH_ablation_subtree_size.json"
+
+  # Smoke the offline renderers over the artifacts they consume: the
+  # metrics dump must round-trip through cclstat (text + summary JSON)
+  # and the --hw bench document must render a divergence report.
+  echo "=== cclstat smoke over metrics artifacts ==="
+  build-bench/tools/cclstat --quiet --json - "$ART/METRICS_fig5.jsonl" \
+    > /dev/null
+  build-bench/tools/cclstat "$ART/METRICS_fig5.jsonl" > /dev/null
+  build-bench/tools/cclstat --bench "$ART/BENCH_fig5.json" > /dev/null
+
+  # Advisory regression gate: diff the fresh micro-bench numbers
+  # against the committed references. Shared-runner timings are noisy,
+  # so a trip here warns instead of failing CI; run the script by hand
+  # (nonzero exit on regression) when chasing a perf change.
+  echo "=== bench regression check (advisory) ==="
+  for micro in sim allocator morph; do
+    python3 scripts/bench_compare.py \
+      "BENCH_${micro}_throughput.json" \
+      "$ART/BENCH_${micro}_throughput.json" \
+      || echo "ADVISORY: BENCH_${micro}_throughput regressed past band"
+  done
 fi
 
 echo "=== CI OK ==="

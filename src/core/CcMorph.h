@@ -53,6 +53,7 @@
 
 #include "core/ColoredArena.h"
 #include "support/FlatMap.h"
+#include "support/Metrics.h"
 #include "support/Random.h"
 
 #include <algorithm>
@@ -114,7 +115,28 @@ struct MorphStats {
   uint64_t ColdNodes = 0;
   size_t NodesPerBlock = 0;
   uint64_t ArenaFrames = 0;
+  /// Largest BFS frontier the clustering traversal held (subtree and
+  /// breadth-first schemes; 0 for depth-first/random).
+  uint64_t FrontierPeak = 0;
 };
+
+namespace morph_detail {
+/// Process-wide morph metrics (support/Metrics.h), registered once.
+struct MorphMetrics {
+  metrics::Counter Passes = metrics::counter("ccmorph.passes");
+  metrics::Counter Nodes = metrics::counter("ccmorph.nodes");
+  metrics::Counter Clusters = metrics::counter("ccmorph.clusters");
+  metrics::Counter HotNodes = metrics::counter("ccmorph.hot_nodes");
+  metrics::Histogram PassNodes = metrics::histogram("ccmorph.pass_nodes");
+  metrics::Histogram FrontierPeak =
+      metrics::histogram("ccmorph.frontier_peak");
+};
+
+inline const MorphMetrics &morphMetrics() {
+  static MorphMetrics M;
+  return M;
+}
+} // namespace morph_detail
 
 /// Transparent cache-conscious structure reorganizer.
 ///
@@ -162,6 +184,7 @@ public:
   reorganizeForest(const std::vector<Node *> &Roots,
                    const MorphOptions &Options = MorphOptions(),
                    const Profile *Counts = nullptr) {
+    metrics::ScopedSpan PassSpan("ccmorph.pass");
     Stats = MorphStats();
     Stats.NodesPerBlock = Options.NodesPerBlock
                               ? Options.NodesPerBlock
@@ -304,6 +327,15 @@ public:
 
     Current = std::move(Fresh);
     Stats.ArenaFrames = Current->framesAllocated();
+
+    const morph_detail::MorphMetrics &MM = morph_detail::morphMetrics();
+    metrics::add(MM.Passes);
+    metrics::add(MM.Nodes, Stats.NodeCount);
+    metrics::add(MM.Clusters, Stats.ClusterCount);
+    metrics::add(MM.HotNodes, Stats.HotNodes);
+    metrics::record(MM.PassNodes, Stats.NodeCount);
+    if (Stats.FrontierPeak)
+      metrics::record(MM.FrontierPeak, Stats.FrontierPeak);
     return NewRoots;
   }
 
@@ -432,6 +464,8 @@ private:
                              FrontierBuf.begin() + ptrdiff_t(Taken),
                              FrontierBuf.end());
       ClusterEnds.push_back(ClusterNodes.size());
+      Stats.FrontierPeak =
+          std::max<uint64_t>(Stats.FrontierPeak, FrontierBuf.size());
     }
   }
 
@@ -468,6 +502,10 @@ private:
         if (Node *Kid = A.getKid(Item.N, I))
           FrontierBuf.push_back({Kid, At, I});
     }
+    // Index-cursor FIFO: live frontier is [Head, size), maximal at the
+    // end of the walk for a full tree; the buffer size bounds it.
+    Stats.FrontierPeak =
+        std::max<uint64_t>(Stats.FrontierPeak, FrontierBuf.size());
   }
 
   /// Appends \p Item's node to ClusterNodes, recording the edge that

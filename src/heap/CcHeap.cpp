@@ -29,6 +29,25 @@
 using namespace ccl;
 using namespace ccl::heap;
 
+namespace {
+/// Registered once per process; each heap caches this thread's cells.
+struct HeapMetrics {
+  metrics::Counter AllocFast = metrics::counter("ccmalloc.alloc_fast");
+  metrics::Counter AllocSlow = metrics::counter("ccmalloc.alloc_slow");
+  metrics::Counter NearFast = metrics::counter("ccmalloc.near_fast");
+  metrics::Counter NearSlow = metrics::counter("ccmalloc.near_slow");
+  metrics::Counter FreeFast = metrics::counter("ccmalloc.free_fast");
+  metrics::Counter FreeSlow = metrics::counter("ccmalloc.free_slow");
+  metrics::Counter BinRefill = metrics::counter("ccmalloc.bin_refill");
+  metrics::Counter BinRecycle = metrics::counter("ccmalloc.bin_recycle");
+};
+
+const HeapMetrics &heapMetrics() {
+  static HeapMetrics M;
+  return M;
+}
+} // namespace
+
 const char *ccl::heap::strategyName(CcStrategy Strategy) {
   switch (Strategy) {
   case CcStrategy::Closest:
@@ -55,6 +74,16 @@ CcHeap::CcHeap(HeapConfig ConfigIn) : Config(ConfigIn) {
   BitmapWords = (BlocksPerPage + 63) / 64;
   BlockShift = static_cast<uint32_t>(std::countr_zero(Config.BlockBytes));
   FreeBins.resize((Config.BlockBytes - HeaderBytes) / 8);
+
+  const HeapMetrics &M = heapMetrics();
+  MAllocFast = metrics::cell(M.AllocFast);
+  MAllocSlow = metrics::cell(M.AllocSlow);
+  MNearFast = metrics::cell(M.NearFast);
+  MNearSlow = metrics::cell(M.NearSlow);
+  MFreeFast = metrics::cell(M.FreeFast);
+  MFreeSlow = metrics::cell(M.FreeSlow);
+  MBinRefill = metrics::cell(M.BinRefill);
+  MBinRecycle = metrics::cell(M.BinRecycle);
 }
 
 CcHeap::~CcHeap() {
@@ -281,6 +310,7 @@ void *CcHeap::popFreeList(size_t Rounded, const PageInfo *PageFilter) {
 }
 
 void *CcHeap::allocateSlow(size_t Rounded, size_t Requested) {
+  metrics::bump(MAllocSlow);
   // Recycle an exact-size chunk if one is free.
   if (void *Reused = popFreeList(Rounded, /*PageFilter=*/nullptr))
     return Reused;
@@ -342,6 +372,7 @@ int64_t CcHeap::findBlock(const PageInfo &Page, uint32_t NearBlock,
 void *CcHeap::allocateNearSlow(PageInfo &Page, uint32_t NearBlock,
                                size_t Rounded, size_t Requested,
                                CcStrategy Strategy) {
+  metrics::bump(MNearSlow);
   // Fallback: same page, block chosen by strategy. Same-page placement
   // keeps the working set small and cannot conflict in the cache with
   // the hint (paper §3.2.1).
@@ -375,6 +406,7 @@ void *CcHeap::allocateNearSlow(PageInfo &Page, uint32_t NearBlock,
 }
 
 void CcHeap::reclaimBlocks(PageInfo &Page, uint32_t BlockIdx, size_t Need) {
+  metrics::bump(MFreeSlow);
   // Reclaim the dead block run and invalidate any free-list entries
   // pointing into it (via the epoch bump).
   uint32_t BlocksSpanned = static_cast<uint32_t>(

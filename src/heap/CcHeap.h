@@ -34,6 +34,7 @@
 
 #include "support/Align.h"
 #include "support/FlatMap.h"
+#include "support/Metrics.h"
 
 #include <cassert>
 #include <cstddef>
@@ -125,8 +126,10 @@ public:
         if (PlainCursor) {
           PageInfo &Page = *PlainCursor;
           uint32_t Idx = Page.ScanHint;
-          if (Page.Meta[Idx].Used + Need <= Config.BlockBytes)
+          if (Page.Meta[Idx].Used + Need <= Config.BlockBytes) {
+            metrics::bump(MAllocFast);
             return carve(Page, Idx, Rounded, Size);
+          }
           // Sequential fill: the hint block just filled up, the next
           // block is the scan's first candidate (no earlier FitBits bit
           // exists between them). Identical to bumpAllocate()'s pick.
@@ -134,10 +137,13 @@ public:
           if (NextIdx < BlocksPerPage && testBit(Page.FitBits, NextIdx) &&
               Page.Meta[NextIdx].Used + Need <= Config.BlockBytes) {
             Page.ScanHint = NextIdx;
+            metrics::bump(MAllocFast);
             return carve(Page, NextIdx, Rounded, Size);
           }
         }
       } else if (void *Reused = popFreeListFast(Bin, Need)) {
+        metrics::bump(MAllocFast);
+        metrics::bump(MBinRecycle);
         return Reused;
       }
     }
@@ -168,6 +174,7 @@ public:
     // Primary goal: same cache block as the hint.
     if (Page->Meta[NearBlock].Used + Need <= Config.BlockBytes) {
       ++Stats.SameBlock;
+      metrics::bump(MNearFast);
       return carve(*Page, NearBlock, Rounded, Size);
     }
     // Closest-strategy distance-1 shortcut, the common case when a chain
@@ -180,12 +187,14 @@ public:
       if (BelowBit) {
         if (Page->Meta[NearBlock - 1].Used + Need <= Config.BlockBytes) {
           ++Stats.SamePage;
+          metrics::bump(MNearFast);
           return carve(*Page, NearBlock - 1, Rounded, Size);
         }
       } else if (NearBlock + 1 < BlocksPerPage &&
                  testBit(Page->FitBits, NearBlock + 1) &&
                  Page->Meta[NearBlock + 1].Used + Need <= Config.BlockBytes) {
         ++Stats.SamePage;
+        metrics::bump(MNearFast);
         return carve(*Page, NearBlock + 1, Rounded, Size);
       }
     }
@@ -236,6 +245,7 @@ public:
         if (BlockIdx < Page->ScanHint)
           Page->ScanHint = BlockIdx;
         ++Stats.BlocksReclaimed;
+        metrics::bump(MFreeFast);
         return;
       }
       reclaimBlocks(*Page, BlockIdx, Need);
@@ -247,6 +257,8 @@ public:
     if (Bin < 64)
       BinsMask |= uint64_t(1) << Bin;
     FreeBins[Bin].push_back({Ptr, Page, M.Epoch});
+    metrics::bump(MFreeFast);
+    metrics::bump(MBinRefill);
   }
 
   /// True if \p Ptr points into memory managed by this heap.
@@ -465,6 +477,19 @@ private:
   std::vector<void *> Slabs;
   char *SlabCursor = nullptr;
   char *SlabEnd = nullptr;
+
+  /// Metrics cells, cached at construction from the creating thread's
+  /// shard (CcHeap is single-threaded, see the class comment). One
+  /// relaxed per-thread increment on the fast paths — no TLS lookup,
+  /// no lock prefix; compiled out entirely when CCL_METRICS_ENABLED=0.
+  metrics::Cell *MAllocFast = nullptr;
+  metrics::Cell *MAllocSlow = nullptr;
+  metrics::Cell *MNearFast = nullptr;
+  metrics::Cell *MNearSlow = nullptr;
+  metrics::Cell *MFreeFast = nullptr;
+  metrics::Cell *MFreeSlow = nullptr;
+  metrics::Cell *MBinRefill = nullptr;
+  metrics::Cell *MBinRecycle = nullptr;
 };
 
 } // namespace ccl::heap

@@ -6,6 +6,7 @@
 
 #include "obs/Export.h"
 
+#include "support/BuildInfo.h"
 #include "support/TablePrinter.h"
 
 #include <algorithm>
@@ -51,14 +52,19 @@ TraceSink::TraceSink(std::FILE *Out, const AttributionConfig &Config,
                      const RegionRegistry *Registry,
                      const TraceSinkOptions &Options)
     : Out(Out), Config(Config), Registry(Registry), Options(Options) {
+  // "binary"/"git" attribute archived dumps to the producing build;
+  // readers skip unknown fields, so the schema stays v1.
   std::fprintf(Out,
                "{\"kind\":\"meta\",\"schema\":\"ccl-trace-v1\","
                "\"l1_block\":%" PRIu32 ",\"l1_sets\":%" PRIu64
                ",\"l2_block\":%" PRIu32 ",\"l2_sets\":%" PRIu64
-               ",\"hot_sets\":%" PRIu64 ",\"sample\":%" PRIu64 "}\n",
+               ",\"hot_sets\":%" PRIu64 ",\"sample\":%" PRIu64
+               ",\"binary\":\"%s\",\"git\":\"%s\"}\n",
                Config.L1BlockBytes, Config.L1Sets, Config.L2BlockBytes,
                Config.L2Sets, Config.HotSets,
-               Options.SampleInterval ? Options.SampleInterval : 1);
+               Options.SampleInterval ? Options.SampleInterval : 1,
+               jsonEscape(binaryName()).c_str(),
+               jsonEscape(gitDescribe()).c_str());
   ++Lines;
 }
 

@@ -1,0 +1,76 @@
+//===- obs/MetricsExport.h - ccl-metrics-v1 writer/reader ------*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSONL export for the support-layer metrics registry
+/// (support/Metrics.h), plus the offline reader and renderers used by
+/// tools/cclstat.
+///
+/// Metrics schema (ccl-metrics-v1), one object per line:
+///   {"kind":"meta","schema":"ccl-metrics-v1","binary":"fig5_...",
+///    "git":"a382da8","clock_ns":123456}
+///   {"kind":"c","name":"ccmalloc.alloc_fast","v":123}
+///   {"kind":"h","name":"replay.group_ns","count":8,"sum":91833,
+///    "b":[[13,2],[14,6]]}            // sparse [bucket,count] pairs;
+///                                    // bucket B holds bit_width==B
+///   {"kind":"s","name":"fig5.replay","t0":1000,"dur":52000,"tid":0}
+///
+/// Readers skip unknown kinds and fields, mirroring ccl-trace-v1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_OBS_METRICSEXPORT_H
+#define CCL_OBS_METRICSEXPORT_H
+
+#include "support/Metrics.h"
+
+#include <cstdio>
+#include <string>
+
+namespace ccl::obs {
+
+/// Writes a registry snapshot as a ccl-metrics-v1 JSONL dump (meta
+/// line, counters, histograms with non-empty buckets, spans). Zero
+/// counters/histograms are kept: absence of traffic is a result.
+void writeMetricsJsonl(const metrics::Snapshot &Snapshot, std::FILE *Out);
+
+/// Snapshot of the current process registry, written to \p Path
+/// ("-" = stdout). Returns false with a note on stderr if the file
+/// cannot be opened. No-op (returns true) when \p Path is empty.
+bool dumpProcessMetrics(const std::string &Path);
+
+/// A parsed ccl-metrics-v1 dump: the producing binary/git stamp plus a
+/// reconstructed registry snapshot.
+struct MetricsDoc {
+  std::string Binary;
+  std::string Git;
+  metrics::Snapshot Data;
+};
+
+/// Parses one JSONL line; returns false for blank/unknown/corrupt
+/// lines (callers count successes). Accumulates into \p Doc: repeated
+/// counter/histogram lines for one name sum, matching multi-dump cat.
+bool parseMetricsLine(const std::string &Line, MetricsDoc &Doc);
+
+/// Reads a whole dump; returns the number of parsed records (0 when
+/// nothing parsed).
+long readMetricsFile(std::FILE *In, MetricsDoc &Doc);
+
+/// Human-readable report: counter table, histogram distributions
+/// (power-of-two buckets), span list.
+void printMetricsReport(const MetricsDoc &Doc, std::FILE *Out);
+
+/// Re-render as one aggregated JSON document
+/// (schema "ccl-metrics-summary-v1").
+void writeMetricsSummaryJson(const MetricsDoc &Doc, std::FILE *Out);
+
+/// Spans as Chrome trace-event JSON ("X" complete events, one row per
+/// recording thread; microsecond timestamps).
+void writeMetricsChrome(const MetricsDoc &Doc, std::FILE *Out);
+
+} // namespace ccl::obs
+
+#endif // CCL_OBS_METRICSEXPORT_H

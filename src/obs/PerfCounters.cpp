@@ -1,0 +1,181 @@
+//===- obs/PerfCounters.cpp - Hardware performance counter group ----------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/PerfCounters.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+using namespace ccl::obs;
+
+const char *ccl::obs::perfEventName(unsigned Index) {
+  static const char *Names[PerfNumEvents] = {
+      "cycles", "instructions", "l1d_misses", "llc_misses", "dtlb_misses"};
+  return Index < PerfNumEvents ? Names[Index] : "?";
+}
+
+namespace {
+bool perfDisabledByEnv() {
+  const char *Env = std::getenv("CCL_PERF_DISABLE");
+  return Env && Env[0] != '\0' && Env[0] != '0';
+}
+} // namespace
+
+#if defined(__linux__)
+
+namespace {
+
+int perfEventOpen(perf_event_attr *Attr, pid_t Pid, int Cpu, int GroupFd,
+                  unsigned long Flags) {
+  return int(syscall(__NR_perf_event_open, Attr, Pid, Cpu, GroupFd, Flags));
+}
+
+struct EventSpec {
+  uint32_t Type;
+  uint64_t Config;
+};
+
+EventSpec eventSpec(unsigned Index) {
+  constexpr uint64_t L1dReadMiss =
+      PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+      (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+  constexpr uint64_t DtlbReadMiss =
+      PERF_COUNT_HW_CACHE_DTLB | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+      (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+  switch (Index) {
+  case PerfCycles:
+    return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES};
+  case PerfInstructions:
+    return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS};
+  case PerfL1dMisses:
+    return {PERF_TYPE_HW_CACHE, L1dReadMiss};
+  case PerfLlcMisses:
+    return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES};
+  case PerfDtlbMisses:
+    return {PERF_TYPE_HW_CACHE, DtlbReadMiss};
+  }
+  return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES};
+}
+
+std::string openFailureReason(int Err) {
+  std::string Reason = "perf_event_open: ";
+  Reason += std::strerror(Err);
+  if (Err == EACCES || Err == EPERM)
+    Reason += " (check /proc/sys/kernel/perf_event_paranoid or container "
+              "seccomp policy)";
+  else if (Err == ENOSYS)
+    Reason += " (kernel built without perf events)";
+  return Reason;
+}
+
+} // namespace
+
+PerfCounters::PerfCounters() {
+  if (perfDisabledByEnv()) {
+    UnavailableReason = "disabled by CCL_PERF_DISABLE";
+    return;
+  }
+  for (unsigned I = 0; I < PerfNumEvents; ++I) {
+    EventSpec Spec = eventSpec(I);
+    perf_event_attr Attr;
+    std::memset(&Attr, 0, sizeof(Attr));
+    Attr.size = sizeof(Attr);
+    Attr.type = Spec.Type;
+    Attr.config = Spec.Config;
+    Attr.disabled = GroupFd < 0 ? 1 : 0; // Group toggles via the leader.
+    Attr.exclude_kernel = 1;
+    Attr.exclude_hv = 1;
+    Attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+    int Fd = perfEventOpen(&Attr, 0, -1, GroupFd, 0);
+    if (Fd < 0) {
+      if (GroupFd < 0) {
+        // Leader (cycles) failed: the whole machine/group is off.
+        UnavailableReason = openFailureReason(errno);
+        return;
+      }
+      continue; // Event unsupported here; measure the rest.
+    }
+    if (GroupFd < 0)
+      GroupFd = Fd;
+    Fds[I] = Fd;
+    ReadSlot[I] = int(OpenCount++);
+  }
+}
+
+PerfCounters::~PerfCounters() {
+  for (int Fd : Fds)
+    if (Fd >= 0)
+      ::close(Fd);
+}
+
+void PerfCounters::start() {
+  if (GroupFd < 0)
+    return;
+  ::ioctl(GroupFd, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ::ioctl(GroupFd, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfReading PerfCounters::stop() {
+  PerfReading R;
+  if (GroupFd < 0) {
+    R.Reason = UnavailableReason;
+    return R;
+  }
+  ::ioctl(GroupFd, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+
+  // PERF_FORMAT_GROUP read layout: nr, time_enabled, time_running,
+  // then one u64 per event in group-join order.
+  uint64_t Buf[3 + PerfNumEvents] = {};
+  ssize_t Want = ssize_t((3 + OpenCount) * sizeof(uint64_t));
+  ssize_t Got = ::read(GroupFd, Buf, sizeof(Buf));
+  if (Got < Want) {
+    R.Reason = "perf group read failed";
+    return R;
+  }
+  R.Available = true;
+  R.TimeEnabledNs = Buf[1];
+  R.TimeRunningNs = Buf[2];
+  double Scale = (Buf[2] > 0 && Buf[1] > Buf[2])
+                     ? double(Buf[1]) / double(Buf[2])
+                     : 1.0;
+  for (unsigned I = 0; I < PerfNumEvents; ++I) {
+    if (ReadSlot[I] < 0)
+      continue;
+    uint64_t Raw = Buf[3 + ReadSlot[I]];
+    R.Raw[I] = int64_t(Raw);
+    R.Scaled[I] = int64_t(double(Raw) * Scale);
+  }
+  return R;
+}
+
+#else // !__linux__
+
+PerfCounters::PerfCounters() {
+  UnavailableReason = perfDisabledByEnv()
+                          ? "disabled by CCL_PERF_DISABLE"
+                          : "perf events require Linux";
+}
+
+PerfCounters::~PerfCounters() = default;
+
+void PerfCounters::start() {}
+
+PerfReading PerfCounters::stop() {
+  PerfReading R;
+  R.Reason = UnavailableReason;
+  return R;
+}
+
+#endif

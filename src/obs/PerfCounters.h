@@ -1,0 +1,117 @@
+//===- obs/PerfCounters.h - Hardware performance counter group ------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// Thin wrapper over perf_event_open(2) measuring one fixed event group
+// for the calling thread: cycles, instructions, L1d read misses, LLC
+// misses, dTLB read misses. The group is read in a single fd read with
+// PERF_FORMAT_TOTAL_TIME_ENABLED/RUNNING so counts can be corrected
+// for kernel multiplexing (scaled = raw * enabled / running).
+//
+// Degrades gracefully everywhere:
+//  * perf denied (containers, perf_event_paranoid, seccomp) or absent
+//    (non-Linux) -> available() is false with a human-readable reason,
+//    and readings come back stamped Available=false instead of
+//    failing the caller.
+//  * individual events unsupported on this machine -> that slot reads
+//    as -1 (absent) while the rest of the group still measures.
+//  * CCL_PERF_DISABLE=1 in the environment forces the unavailable
+//    path (deterministic CI / tests).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_OBS_PERFCOUNTERS_H
+#define CCL_OBS_PERFCOUNTERS_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ccl::obs {
+
+/// Index into PerfReading::Raw / Scaled.
+enum PerfEventIndex : unsigned {
+  PerfCycles = 0,
+  PerfInstructions,
+  PerfL1dMisses,
+  PerfLlcMisses,
+  PerfDtlbMisses,
+  PerfNumEvents
+};
+
+/// Short stable names for the events ("cycles", "instructions",
+/// "l1d_misses", "llc_misses", "dtlb_misses").
+const char *perfEventName(unsigned Index);
+
+struct PerfReading {
+  bool Available = false; ///< False: counters denied; fields are zero.
+  std::string Reason;     ///< Why unavailable (empty when available).
+  uint64_t TimeEnabledNs = 0; ///< Wall time the group was enabled.
+  uint64_t TimeRunningNs = 0; ///< Time it was actually on the PMU.
+  /// Raw counts as read; -1 for events this machine could not open.
+  std::array<int64_t, PerfNumEvents> Raw = {-1, -1, -1, -1, -1};
+  /// Multiplexing-corrected counts (Raw * Enabled / Running); equal to
+  /// Raw when the group was never descheduled. -1 when absent.
+  std::array<int64_t, PerfNumEvents> Scaled = {-1, -1, -1, -1, -1};
+
+  /// Fraction of enabled time the group was actually counting
+  /// (1.0 = no multiplexing). 0 when unavailable.
+  double runningShare() const {
+    return TimeEnabledNs == 0
+               ? 0.0
+               : double(TimeRunningNs) / double(TimeEnabledNs);
+  }
+  bool has(unsigned Index) const {
+    return Index < PerfNumEvents && Scaled[Index] >= 0;
+  }
+};
+
+class PerfCounters {
+public:
+  /// Opens the event group for the calling thread (counting starts
+  /// disabled). Never throws: failure is reported via available().
+  PerfCounters();
+  ~PerfCounters();
+  PerfCounters(const PerfCounters &) = delete;
+  PerfCounters &operator=(const PerfCounters &) = delete;
+
+  bool available() const { return GroupFd >= 0; }
+  const std::string &reason() const { return UnavailableReason; }
+
+  /// Reset and enable the group. No-op when unavailable.
+  void start();
+  /// Disable and read the group. When unavailable, returns a reading
+  /// stamped Available=false carrying reason().
+  PerfReading stop();
+
+private:
+  int GroupFd = -1; ///< Leader (cycles) fd; < 0 when unavailable.
+  std::array<int, PerfNumEvents> Fds = {-1, -1, -1, -1, -1};
+  /// Position of each event in the group read, -1 if not opened.
+  std::array<int, PerfNumEvents> ReadSlot = {-1, -1, -1, -1, -1};
+  unsigned OpenCount = 0;
+  std::string UnavailableReason;
+};
+
+/// RAII measurement: starts the group on construction, stops into Out
+/// on destruction.
+class PerfScope {
+public:
+  PerfScope(PerfCounters &Counters, PerfReading &Out)
+      : Counters(Counters), Out(Out) {
+    Counters.start();
+  }
+  ~PerfScope() { Out = Counters.stop(); }
+  PerfScope(const PerfScope &) = delete;
+  PerfScope &operator=(const PerfScope &) = delete;
+
+private:
+  PerfCounters &Counters;
+  PerfReading &Out;
+};
+
+} // namespace ccl::obs
+
+#endif // CCL_OBS_PERFCOUNTERS_H

@@ -99,6 +99,8 @@ bool ccl::obs::parseTraceLine(const std::string &Line, TraceRecord &Out) {
       Config.HotSets = U;
     Out.Config = Config;
     Out.SampleInterval = getU64(Line, "sample", U) ? U : 1;
+    getString(Line, "binary", Out.Producer);
+    getString(Line, "git", Out.ProducerGit);
     return true;
   }
 

@@ -31,6 +31,10 @@ struct TraceRecord {
   // Kind::Meta
   AttributionConfig Config;
   uint64_t SampleInterval = 1;
+  // Producing binary + git describe stamp; empty in dumps written
+  // before they were added to the meta line.
+  std::string Producer;
+  std::string ProducerGit;
 
   // Kind::Region
   uint32_t RegionId = 0;

@@ -22,10 +22,34 @@
 //===----------------------------------------------------------------------===//
 
 #include "sim/MemoryHierarchy.h"
+#include "support/Metrics.h"
 #include "support/SweepRunner.h"
+#include "support/Timer.h"
 
 #include <algorithm>
 #include <vector>
+
+namespace {
+/// Per-replay and per-shard-group metrics. Group timings land on the
+/// executing worker's shard; one Timer read per group is noise next to
+/// the thousands of block accesses each group replays.
+struct ReplayMetrics {
+  ccl::metrics::Counter Parallel =
+      ccl::metrics::counter("replay.parallel_windows");
+  ccl::metrics::Counter Serial =
+      ccl::metrics::counter("replay.serial_fallbacks");
+  ccl::metrics::Counter Records = ccl::metrics::counter("replay.records");
+  ccl::metrics::Histogram GroupNs =
+      ccl::metrics::histogram("replay.group_ns");
+  ccl::metrics::Histogram TlbPassNs =
+      ccl::metrics::histogram("replay.tlb_pass_ns");
+};
+
+const ReplayMetrics &replayMetrics() {
+  static ReplayMetrics M;
+  return M;
+}
+} // namespace
 
 using namespace ccl::sim;
 
@@ -54,6 +78,7 @@ MemoryHierarchy::replayParallel(const TraceShardIndex &Index, size_t CutA,
 
   if (Reason != nullptr) {
     Event.Reason = Reason;
+    metrics::add(replayMetrics().Serial);
     if (Obs != nullptr)
       Obs->onReplaySharding(Event);
     TraceCursor Cursor = Index.originalCursorAt(CutA);
@@ -167,11 +192,16 @@ MemoryHierarchy::replayParallel(const TraceShardIndex &Index, size_t CutA,
 
   // Cell 0 is the serial TLB pass; it is usually the longest cell, so it
   // is claimed first while shard groups fill the remaining workers.
+  const ReplayMetrics &RM = replayMetrics();
   Pool.run(Groups + 1, [&](size_t Cell) {
-    if (Cell == 0)
+    Timer CellTimer;
+    if (Cell == 0) {
       tlbPass();
-    else
+      metrics::record(RM.TlbPassNs, CellTimer.elapsedNs());
+    } else {
       shardPass(uint32_t(Cell - 1));
+      metrics::record(RM.GroupNs, CellTimer.elapsedNs());
+    }
   });
 
   SimStats Delta = TlbStats;
@@ -197,5 +227,7 @@ MemoryHierarchy::replayParallel(const TraceShardIndex &Index, size_t CutA,
   Event.Parallel = true;
   Event.Groups = Groups;
   Event.Workers = std::min<uint32_t>(Pool.threads(), Groups + 1);
+  metrics::add(RM.Parallel);
+  metrics::add(RM.Records, Event.Records);
   return Event;
 }

@@ -6,6 +6,8 @@
 
 #include "support/SweepRunner.h"
 
+#include "support/Metrics.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
@@ -16,6 +18,23 @@
 using namespace ccl;
 
 namespace {
+/// Grid-level counters; per-claim increments land on the claiming
+/// worker's metrics shard, so the claim counter doubles as a
+/// work-stealing census (claims beyond one per worker are steals).
+struct SweepMetrics {
+  metrics::Counter Runs = metrics::counter("sweep.runs");
+  metrics::Counter SerialRuns = metrics::counter("sweep.serial_runs");
+  metrics::Counter Cells = metrics::counter("sweep.cells");
+  metrics::Counter Claims = metrics::counter("sweep.chunk_claims");
+  metrics::Histogram RunCells = metrics::histogram("sweep.run_cells");
+  metrics::Histogram QueueDepth = metrics::histogram("sweep.queue_depth");
+};
+
+const SweepMetrics &sweepMetrics() {
+  static SweepMetrics M;
+  return M;
+}
+
 /// Depth of sweep-cell nesting on this thread (0 = not in a worker).
 thread_local unsigned SweepCellDepth = 0;
 
@@ -45,10 +64,15 @@ void SweepRunner::run(size_t Cells,
                       size_t Chunk) const {
   if (Chunk == 0)
     Chunk = 1;
+  const SweepMetrics &M = sweepMetrics();
+  metrics::add(M.Runs);
+  metrics::add(M.Cells, Cells);
+  metrics::record(M.RunCells, Cells);
   unsigned Workers =
       unsigned(std::min<size_t>(NumThreads, (Cells + Chunk - 1) / Chunk));
   if (Workers <= 1) {
     // Allocation-free serial path (also taken for a one-chunk grid).
+    metrics::add(M.SerialRuns);
     CellDepthScope InCell;
     for (size_t I = 0; I < Cells; ++I)
       Cell(I);
@@ -68,6 +92,8 @@ void SweepRunner::run(size_t Cells,
       size_t First = NextCell.fetch_add(Chunk, std::memory_order_relaxed);
       if (First >= Cells || HasError.load(std::memory_order_relaxed))
         return;
+      metrics::add(M.Claims);
+      metrics::record(M.QueueDepth, Cells - First);
       size_t Last = std::min(Cells, First + Chunk);
       try {
         for (size_t I = First; I < Last; ++I)

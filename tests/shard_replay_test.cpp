@@ -278,7 +278,9 @@ TEST(ShardReplay, SerialFallbacksStayBitIdentical) {
     // Called from inside a sweep worker: nested parallelism is refused.
     TraceShardIndex Index(Buf.view(), Config, {}, 4);
     std::vector<Snapshot> Cells(3);
-    std::vector<bool> Parallel(3, true);
+    // Not vector<bool>: workers write elements concurrently, and the
+    // bit-packed specialization would race on the shared word.
+    std::vector<char> Parallel(3, 1);
     Pool.run(3, [&](size_t I) {
       MemoryHierarchy M(Config);
       Parallel[I] = M.replayParallel(Index, Pool).Parallel;

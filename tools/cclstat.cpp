@@ -13,14 +13,26 @@
 //   cclstat --csv profile.csv trace.jsonl
 //   cclstat --chrome trace.chrome.json trace.jsonl   # chrome://tracing
 //
+// The input format is auto-detected from the first line: a
+// ccl-metrics-v1 dump (as written by `--metrics <path>` on the bench
+// binaries) renders the runtime-metrics report instead — --json then
+// re-renders as ccl-metrics-summary-v1, --chrome as span trace events.
+//
+//   cclstat --bench bench.json          # sim-vs-hardware divergence
+//                                       # table from a ccl-bench-v1
+//                                       # document (fig5/fig6/fig7 --hw)
+//
 // Reading from stdin: use "-" as the trace path.
 //
 //===----------------------------------------------------------------------===//
 
 #include "obs/Attribution.h"
+#include "obs/BenchReader.h"
 #include "obs/Export.h"
+#include "obs/MetricsExport.h"
 #include "obs/Region.h"
 #include "obs/TraceReader.h"
+#include "support/TablePrinter.h"
 
 #include <cinttypes>
 #include <cstdio>
@@ -30,6 +42,7 @@
 #include <vector>
 
 using namespace ccl::obs;
+using ccl::TablePrinter;
 
 namespace {
 
@@ -37,13 +50,124 @@ int usage(const char *Prog) {
   std::fprintf(
       stderr,
       "usage: %s [options] <trace.jsonl | ->\n"
+      "       %s --bench <bench.json | ->\n"
       "Renders a ccl-trace-v1 JSONL dump (see TraceSink) as a profile.\n"
+      "ccl-metrics-v1 dumps (bench --metrics) are auto-detected and\n"
+      "render the runtime-metrics report instead.\n"
       "  --json <path>    write ccl-profile-v1 JSON ('-' = stdout)\n"
+      "                   (metrics input: ccl-metrics-summary-v1)\n"
       "  --csv <path>     write the per-region profile as CSV\n"
       "  --chrome <path>  convert events to Chrome trace format\n"
+      "  --bench <path>   ccl-bench-v1 document: print the simulated-\n"
+      "                   vs-hardware miss divergence table (--hw runs)\n"
       "  --quiet          suppress the text report\n",
-      Prog);
+      Prog, Prog);
   return 2;
+}
+
+/// Reads one (possibly long) line including its newline; false at EOF
+/// with nothing read.
+bool readLine(std::FILE *In, std::string &Out) {
+  Out.clear();
+  char Buf[4096];
+  while (std::fgets(Buf, sizeof(Buf), In)) {
+    Out += Buf;
+    if (!Out.empty() && Out.back() == '\n')
+      return true;
+  }
+  return !Out.empty();
+}
+
+/// A compact per-row label for a bench result: the distinguishing
+/// sweep fields the figure benches emit.
+std::string benchRowLabel(const BenchResultRecord &R) {
+  std::string Label;
+  for (const char *Key : {"section", "layout", "variant", "strategy"}) {
+    std::string V = R.str(Key);
+    if (!V.empty())
+      Label += (Label.empty() ? "" : " ") + V;
+  }
+  if (R.has("searches")) {
+    bool Ok = false;
+    double N = R.num("searches", &Ok);
+    if (Ok)
+      Label += (Label.empty() ? "n=" : " n=") +
+               TablePrinter::fmtInt(uint64_t(N));
+  }
+  return Label;
+}
+
+/// Sim-vs-hardware divergence: pairs each result's simulated miss
+/// counts with the hardware counts recorded around the corresponding
+/// native run (fig5/fig6/fig7 --hw). The two columns deliberately do
+/// not measure the same execution — the simulator replays a recorded
+/// stream through the paper's memory system, the hardware counters
+/// watch the native run on the host — so the ratio is a model-fidelity
+/// signal, not an error bar.
+int printBenchDivergence(const std::string &Path) {
+  BenchDoc Doc;
+  if (!readBenchFile(Path, Doc)) {
+    std::fprintf(stderr,
+                 "cclstat: %s is not a readable ccl-bench-v1 document\n",
+                 Path.c_str());
+    return 1;
+  }
+  std::printf("%s: bench %s (%s%s), %zu results\n", Path.c_str(),
+              Doc.Bench.c_str(), Doc.BuildType.c_str(),
+              Doc.Full ? ", full scale" : "", Doc.Results.size());
+
+  // The "(hw)" meta record reports counter availability on the
+  // producing host.
+  for (const BenchResultRecord &R : Doc.Results) {
+    if (R.str("metric") != "hw")
+      continue;
+    if (R.str("hw_available") == "yes") {
+      std::printf("hw: available\n");
+    } else {
+      std::printf("hw: unavailable (%s)\n",
+                  R.str("hw_reason", "no reason recorded").c_str());
+    }
+  }
+
+  TablePrinter Table({"name", "cell", "sim L1", "hw l1d", "L1 ratio",
+                      "sim L2", "hw llc", "L2 ratio", "sim TLB",
+                      "hw dtlb", "TLB ratio"});
+  size_t Paired = 0;
+  auto Ratio = [](double Sim, double HwV) {
+    return HwV > 0 ? TablePrinter::fmt(Sim / HwV, 2) + "x"
+                   : std::string("-");
+  };
+  for (const BenchResultRecord &R : Doc.Results) {
+    if (!R.has("sim_l1_misses") || !R.has("hw_l1d_misses"))
+      continue;
+    double SimL1 = R.num("sim_l1_misses");
+    double SimL2 = R.num("sim_l2_misses");
+    double SimTlb = R.num("sim_tlb_misses");
+    double HwL1 = R.num("hw_l1d_misses");
+    double HwLlc = R.num("hw_llc_misses");
+    double HwTlb = R.num("hw_dtlb_misses");
+    Table.addRow({R.str("name"), benchRowLabel(R),
+                  TablePrinter::fmtInt(uint64_t(SimL1)),
+                  TablePrinter::fmtInt(uint64_t(HwL1)),
+                  Ratio(SimL1, HwL1),
+                  TablePrinter::fmtInt(uint64_t(SimL2)),
+                  TablePrinter::fmtInt(uint64_t(HwLlc)),
+                  Ratio(SimL2, HwLlc),
+                  TablePrinter::fmtInt(uint64_t(SimTlb)),
+                  TablePrinter::fmtInt(uint64_t(HwTlb)),
+                  Ratio(SimTlb, HwTlb)});
+    ++Paired;
+  }
+  if (Paired == 0) {
+    std::printf("no results carry paired simulated+hardware misses "
+                "(rerun the bench with --hw on a perf-capable host)\n");
+    return 0;
+  }
+  std::printf("\nSimulated vs hardware misses (ratio = sim/hw; the "
+              "simulator models the paper's\nmemory system, not the "
+              "host, so expect systematic offsets):\n");
+  Table.print();
+  return 0;
 }
 
 std::FILE *openOut(const std::string &Path) {
@@ -127,7 +251,7 @@ private:
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string TracePath, JsonPath, CsvPath, ChromePath;
+  std::string TracePath, JsonPath, CsvPath, ChromePath, BenchPath;
   bool Quiet = false;
   for (int I = 1; I < Argc; ++I) {
     auto takeValue = [&](std::string &Slot) {
@@ -145,6 +269,9 @@ int main(int Argc, char **Argv) {
     } else if (std::strcmp(Argv[I], "--chrome") == 0) {
       if (!takeValue(ChromePath))
         return usage(Argv[0]);
+    } else if (std::strcmp(Argv[I], "--bench") == 0) {
+      if (!takeValue(BenchPath))
+        return usage(Argv[0]);
     } else if (std::strcmp(Argv[I], "--quiet") == 0) {
       Quiet = true;
     } else if (std::strcmp(Argv[I], "--help") == 0 ||
@@ -160,6 +287,8 @@ int main(int Argc, char **Argv) {
       return usage(Argv[0]);
     }
   }
+  if (!BenchPath.empty())
+    return printBenchDivergence(BenchPath);
   if (TracePath.empty())
     return usage(Argv[0]);
 
@@ -168,6 +297,49 @@ int main(int Argc, char **Argv) {
   if (!In) {
     std::fprintf(stderr, "cclstat: cannot open %s\n", TracePath.c_str());
     return 1;
+  }
+
+  // Auto-detect the dump flavour from the first line so `--metrics`
+  // output renders without a separate subcommand. The consumed line is
+  // fed to whichever reader wins.
+  std::string FirstLine;
+  bool HasFirst = readLine(In, FirstLine);
+  if (HasFirst && FirstLine.find("\"ccl-metrics-v1\"") != std::string::npos) {
+    MetricsDoc Doc;
+    long Parsed = parseMetricsLine(FirstLine, Doc) ? 1 : 0;
+    Parsed += readMetricsFile(In, Doc);
+    if (In != stdin)
+      std::fclose(In);
+    if (Parsed <= 0) {
+      std::fprintf(stderr, "cclstat: no parseable records in %s\n",
+                   TracePath.c_str());
+      return 1;
+    }
+    if (!Quiet) {
+      std::printf("%s: %ld metrics records", TracePath.c_str(), Parsed);
+      if (!Doc.Binary.empty())
+        std::printf(" from %s (%s)", Doc.Binary.c_str(), Doc.Git.c_str());
+      std::printf("\n\n");
+      printMetricsReport(Doc, stdout);
+    }
+    if (!CsvPath.empty())
+      std::fprintf(stderr,
+                   "cclstat: --csv is not supported for metrics dumps\n");
+    if (!JsonPath.empty()) {
+      std::FILE *Out = openOut(JsonPath);
+      if (!Out)
+        return 1;
+      writeMetricsSummaryJson(Doc, Out);
+      closeOut(Out);
+    }
+    if (!ChromePath.empty()) {
+      std::FILE *Out = openOut(ChromePath);
+      if (!Out)
+        return 1;
+      writeMetricsChrome(Doc, Out);
+      closeOut(Out);
+    }
+    return 0;
   }
 
   std::FILE *ChromeFile = nullptr;
@@ -197,7 +369,7 @@ int main(int Argc, char **Argv) {
                                                AttributionConfig());
   };
 
-  long Parsed = readTraceFile(In, [&](const TraceRecord &Record) {
+  auto HandleRecord = [&](const TraceRecord &Record) {
     switch (Record.RecordKind) {
     case TraceRecord::Kind::Meta:
       if (!Sink)
@@ -240,7 +412,16 @@ int main(int Argc, char **Argv) {
       Sharding.add(Record.Sharding);
       break;
     }
-  });
+  };
+  long Parsed = 0;
+  if (HasFirst) {
+    TraceRecord First;
+    if (parseTraceLine(FirstLine, First)) {
+      HandleRecord(First);
+      ++Parsed;
+    }
+  }
+  Parsed += readTraceFile(In, HandleRecord);
   if (In != stdin)
     std::fclose(In);
   if (Chrome) {
