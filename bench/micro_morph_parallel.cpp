@@ -1,0 +1,101 @@
+//===- bench/micro_morph_parallel.cpp - Parallel reorganizer bench -----------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks for CcMorph::reorganizeParallel: the
+// serial address plan plus the copy/fixup fanned out over a SweepRunner
+// pool. The interesting quantity is scaling — the parallel pass is
+// byte-identical to the serial one at any worker count (ccmorph_test's
+// CcMorphParallel suite), so the only question left is how much
+// wall-clock the fan-out buys. Worker counts 1/2/4/8 cover the serial
+// fallback, the container's typical core counts, and oversubscription.
+// All cases use real time: the pool threads do the work while the
+// calling thread blocks. `--out <path>` emits google-benchmark JSON
+// (the committed reference is BENCH_morph_parallel.json).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/MicroBenchMain.h"
+#include "core/CcMorph.h"
+#include "trees/BinaryTree.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+using namespace ccl;
+
+namespace {
+
+/// Full parallel reorganization (plan + fanned copy/fixup) of a large
+/// tree, reported per node. Workers == 1 exercises the graceful serial
+/// fallback, so the 1-worker row doubles as the baseline the speedup is
+/// measured against.
+void BM_CcMorphParallel(benchmark::State &State) {
+  const uint64_t N = 1 << 17;
+  const unsigned Workers = unsigned(State.range(0));
+  auto Tree = trees::BinarySearchTree::build(N, LayoutScheme::Random);
+  CcMorph<trees::BstNode, trees::BstAdapter> Morph{CacheParams()};
+  SweepRunner Pool(Workers);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Morph.reorganizeParallel(
+        const_cast<trees::BstNode *>(Tree.root()), Pool));
+  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(N));
+  const MorphParallelEvent &Event = Morph.lastParallelEvent();
+  State.SetLabel(Event.Parallel ? "parallel" : Event.Reason);
+}
+BENCHMARK(BM_CcMorphParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+/// The serial entry point on the identical tree: what reorganize() costs
+/// without any pool in the picture (no fallback bookkeeping either), so
+/// regressions in the shared plan phase show up even when the parallel
+/// rows shift with machine load.
+void BM_CcMorphSerialReference(benchmark::State &State) {
+  const uint64_t N = 1 << 17;
+  auto Tree = trees::BinarySearchTree::build(N, LayoutScheme::Random);
+  CcMorph<trees::BstNode, trees::BstAdapter> Morph{CacheParams()};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        Morph.reorganize(const_cast<trees::BstNode *>(Tree.root())));
+  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(N));
+}
+BENCHMARK(BM_CcMorphSerialReference)->UseRealTime();
+
+/// Parallel forest reorganization: many short chains (the chained-hash
+/// shape) make many small clusters, the worst case for cluster-aligned
+/// segmentation — segments stay balanced because every cluster is tiny.
+void BM_CcMorphParallelForest(benchmark::State &State) {
+  const uint64_t Chains = 1 << 12;
+  const uint64_t NodesPerChain = 12;
+  const unsigned Workers = unsigned(State.range(0));
+  std::vector<trees::BinarySearchTree> Trees;
+  std::vector<trees::BstNode *> Roots;
+  Trees.reserve(Chains);
+  Roots.reserve(Chains);
+  for (uint64_t C = 0; C < Chains; ++C) {
+    Trees.push_back(trees::BinarySearchTree::build(
+        NodesPerChain, LayoutScheme::Random, 0x5eedULL + C));
+    Roots.push_back(const_cast<trees::BstNode *>(Trees.back().root()));
+  }
+  CcMorph<trees::BstNode, trees::BstAdapter> Morph{CacheParams()};
+  SweepRunner Pool(Workers);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Morph.reorganizeForestParallel(Roots, Pool));
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(Chains * NodesPerChain));
+}
+BENCHMARK(BM_CcMorphParallelForest)->Arg(1)->Arg(4)->UseRealTime();
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  return ccl::bench::runMicroBenchmark(Argc, Argv);
+}

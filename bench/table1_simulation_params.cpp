@@ -51,9 +51,16 @@ void printConfig(const char *Name, const HierarchyConfig &Config) {
   Table.print();
 }
 
+/// Observed latencies from probing a live hierarchy.
+struct ProbeResult {
+  uint64_t L1Hit = 0;
+  uint64_t L2Hit = 0;
+  uint64_t Memory = 0;
+};
+
 /// Probes the hierarchy to confirm the configured latencies are what a
 /// workload actually observes.
-void selfCheck(const HierarchyConfig &ConfigIn) {
+ProbeResult selfCheck(const HierarchyConfig &ConfigIn) {
   HierarchyConfig Config = ConfigIn;
   Config.Tlb.Enabled = false;
   MemoryHierarchy M(Config);
@@ -80,6 +87,30 @@ void selfCheck(const HierarchyConfig &ConfigIn) {
               Config.L1.HitLatency + Config.L2.HitLatency,
               Config.L1.HitLatency + Config.L2.HitLatency +
                   Config.MemoryLatency);
+  return {HitCost, L2HitCost, ColdCost};
+}
+
+/// One ccl-bench-v1 result per preset: the configured parameters plus
+/// the self-check's observed latencies, so cclstat and bench_compare
+/// can diff simulator configuration drift across commits.
+void emitConfig(bench::BenchJson &Json, const char *Name,
+                const HierarchyConfig &Config, const ProbeResult &Probe) {
+  Json.beginResult(Name);
+  Json.integer("l1_capacity_bytes", Config.L1.CapacityBytes);
+  Json.integer("l1_associativity", Config.L1.Associativity);
+  Json.integer("l1_block_bytes", Config.L1.BlockBytes);
+  Json.integer("l2_capacity_bytes", Config.L2.CapacityBytes);
+  Json.integer("l2_associativity", Config.L2.Associativity);
+  Json.integer("l2_block_bytes", Config.L2.BlockBytes);
+  Json.integer("l1_hit_cycles", Config.L1.HitLatency);
+  Json.integer("l2_hit_cycles", Config.L2.HitLatency);
+  Json.integer("memory_cycles", Config.MemoryLatency);
+  Json.integer("tlb_entries", Config.Tlb.Entries);
+  Json.integer("tlb_page_bytes", Config.Tlb.PageBytes);
+  Json.integer("tlb_miss_cycles", Config.Tlb.MissLatency);
+  Json.integer("probed_l1_hit_cycles", Probe.L1Hit);
+  Json.integer("probed_l2_hit_cycles", Probe.L2Hit);
+  Json.integer("probed_memory_cycles", Probe.Memory);
 }
 
 } // namespace
@@ -92,11 +123,18 @@ int main(int Argc, char **Argv) {
 
   printConfig("RSIM preset (Table 1; used for Figure 7)",
               HierarchyConfig::rsimTable1());
-  selfCheck(HierarchyConfig::rsimTable1());
+  ProbeResult Rsim = selfCheck(HierarchyConfig::rsimTable1());
 
   printConfig("Sun Ultraserver E5000 preset (Section 4.1; used for "
               "Figures 5, 6, 10)",
               HierarchyConfig::ultraSparcE5000());
-  selfCheck(HierarchyConfig::ultraSparcE5000());
+  ProbeResult Ultra = selfCheck(HierarchyConfig::ultraSparcE5000());
+
+  // Machine-readable summary (--out <path> / CCL_BENCH_OUT).
+  bench::BenchJson Json("table1", Full);
+  emitConfig(Json, "rsim_table1", HierarchyConfig::rsimTable1(), Rsim);
+  emitConfig(Json, "ultrasparc_e5000", HierarchyConfig::ultraSparcE5000(),
+             Ultra);
+  Json.writeIfRequested(bench::benchOutPath(Argc, Argv));
   return 0;
 }

@@ -40,6 +40,17 @@ int main(int Argc, char **Argv) {
   TablePrinter Table({"name", "description", "main pointer structures",
                       "input data set", "memory allocated", "paper"});
 
+  // Machine-readable summary (--out <path> / CCL_BENCH_OUT).
+  bench::BenchJson Json("table2", Full);
+  auto Emit = [&Json](const char *Name, const BenchResult &R,
+                      const char *Structures, const char *PaperMemory) {
+    Json.beginResult(Name);
+    Json.str("structures", Structures);
+    Json.integer("heap_footprint_bytes", R.HeapFootprintBytes);
+    Json.integer("checksum", R.Checksum);
+    Json.str("paper_memory", PaperMemory);
+  };
+
   {
     TreeAddConfig C;
     C.Levels = 18;
@@ -49,6 +60,7 @@ int main(int Argc, char **Argv) {
                   "binary tree",
                   TablePrinter::fmtInt((1u << C.Levels) - 1) + " nodes",
                   formatBytes(R.HeapFootprintBytes), "4 MB"});
+    Emit("treeadd", R, "binary tree", "4 MB");
   }
   {
     HealthConfig C;
@@ -59,6 +71,7 @@ int main(int Argc, char **Argv) {
                   "doubly linked lists",
                   "max level 3, max time " + TablePrinter::fmtInt(C.Steps),
                   formatBytes(R.HeapFootprintBytes), "828 KB"});
+    Emit("health", R, "doubly linked lists", "828 KB");
   }
   {
     MstConfig C;
@@ -69,6 +82,7 @@ int main(int Argc, char **Argv) {
                   "array of singly linked lists (chained hash)",
                   TablePrinter::fmtInt(C.NumVertices) + " nodes",
                   formatBytes(R.HeapFootprintBytes), "12 KB"});
+    Emit("mst", R, "array of singly linked lists (chained hash)", "12 KB");
   }
   {
     PerimeterConfig C;
@@ -79,6 +93,7 @@ int main(int Argc, char **Argv) {
                   TablePrinter::fmtInt(1u << C.Levels) + " x " +
                       TablePrinter::fmtInt(1u << C.Levels) + " image",
                   formatBytes(R.HeapFootprintBytes), "64 MB"});
+    Emit("perimeter", R, "quadtree", "64 MB");
   }
   Table.print();
   std::printf("\nNotes: our nodes use 64-bit pointers (the paper's SPARC "
@@ -87,5 +102,6 @@ int main(int Argc, char **Argv) {
               "representation), so absolute footprints differ;\nthe "
               "structures and traversals are the ones that matter for "
               "the placement experiments.\n");
+  Json.writeIfRequested(bench::benchOutPath(Argc, Argv));
   return 0;
 }

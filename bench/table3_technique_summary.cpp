@@ -59,5 +59,19 @@ int main(int Argc, char **Argv) {
               "correctness (it moves objects); misusing ccmalloc\nonly "
               "costs performance — every benchmark in this repository "
               "asserts checksum equality across variants.\n");
+
+  // Machine-readable summary (--out <path> / CCL_BENCH_OUT).
+  bench::BenchJson Json("table3", Full);
+  Json.beginResult("ccmorph");
+  Json.str("workload", "mst");
+  Json.num("base_cycles", MstBase);
+  Json.num("optimized_cycles", MstMorph);
+  Json.num("speedup", MstMorph > 0.0 ? MstBase / MstMorph : 0.0);
+  Json.beginResult("ccmalloc");
+  Json.str("workload", "health");
+  Json.num("base_cycles", HealthBase);
+  Json.num("optimized_cycles", HealthNa);
+  Json.num("speedup", HealthNa > 0.0 ? HealthBase / HealthNa : 0.0);
+  Json.writeIfRequested(bench::benchOutPath(Argc, Argv));
   return 0;
 }

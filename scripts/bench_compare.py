@@ -7,9 +7,9 @@ Reads two benchmark JSON files -- either google-benchmark documents (the
 micro_* benches, committed as BENCH_*.json) or ccl-bench-v1 documents
 (the figure benches via --out) -- matches results by name, and flags
 metrics that moved past a tolerance band. Exits nonzero when any
-regression exceeds the band, so CI can gate on it (the ci.sh stage runs
-it advisory: bench numbers from shared runners are noisy, and the band
-here is a tripwire, not a proof).
+regression exceeds the band, so CI can gate on it. The ci.sh stage
+runs it blocking by default (ci.sh --advisory demotes a trip to a
+warning for noisy shared runners); the band is a tripwire, not a proof.
 
 Stdlib only; no third-party imports.
 
@@ -97,8 +97,8 @@ def main():
         description="Diff a fresh benchmark JSON against a reference.")
     parser.add_argument("reference", help="committed reference JSON")
     parser.add_argument("fresh", help="freshly produced JSON")
-    parser.add_argument("--tolerance", type=float, default=25.0,
-                        help="allowed regression, percent (default 25)")
+    parser.add_argument("--tolerance", type=float, default=10.0,
+                        help="allowed regression, percent (default 10)")
     args = parser.parse_args()
 
     ref = extract(load(args.reference), args.reference)

@@ -8,11 +8,23 @@
 # (the SweepRunner/simulator suite) under ThreadSanitizer. Any failure
 # aborts the script.
 #
-# Usage: scripts/ci.sh [jobs]
+# Usage: scripts/ci.sh [--advisory] [jobs]
+#
+# With CCL_BENCH_ARTIFACTS=1 the micro-bench tiers (sim / allocator /
+# morph) are diffed against their committed references and a regression
+# beyond the threshold (CCL_BENCH_TOLERANCE, default 10%) FAILS the
+# script. Pass --advisory (or CCL_BENCH_ADVISORY=1) to demote the gate
+# back to a warning, e.g. on shared runners with noisy timings.
 #===----------------------------------------------------------------------===#
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BENCH_ADVISORY="${CCL_BENCH_ADVISORY:-0}"
+if [[ "${1:-}" == "--advisory" ]]; then
+  BENCH_ADVISORY=1
+  shift
+fi
 
 JOBS="${1:-$(nproc)}"
 
@@ -56,6 +68,14 @@ if [[ "${CCL_BENCH_ARTIFACTS:-0}" == "1" ]]; then
     --out "$ART/BENCH_allocator_throughput.json"
   build-bench/bench/micro_morph_throughput \
     --out "$ART/BENCH_morph_throughput.json"
+  build-bench/bench/micro_morph_parallel \
+    --out "$ART/BENCH_morph_parallel.json"
+  build-bench/bench/table1_simulation_params \
+    --out "$ART/BENCH_table1.json" > /dev/null
+  build-bench/bench/table2_benchmark_characteristics \
+    --out "$ART/BENCH_table2.json" > /dev/null
+  build-bench/bench/table3_technique_summary \
+    --out "$ART/BENCH_table3.json" > /dev/null
   # Figure benches also dump their runtime-metrics registries
   # (ccl-metrics-v1) next to the bench JSON; fig5 additionally runs
   # --hw so the artifact records hardware-counter availability (and,
@@ -86,17 +106,34 @@ if [[ "${CCL_BENCH_ARTIFACTS:-0}" == "1" ]]; then
   build-bench/tools/cclstat "$ART/METRICS_fig5.jsonl" > /dev/null
   build-bench/tools/cclstat --bench "$ART/BENCH_fig5.json" > /dev/null
 
-  # Advisory regression gate: diff the fresh micro-bench numbers
-  # against the committed references. Shared-runner timings are noisy,
-  # so a trip here warns instead of failing CI; run the script by hand
-  # (nonzero exit on regression) when chasing a perf change.
-  echo "=== bench regression check (advisory) ==="
+  # Regression gate: diff the fresh micro-bench numbers against the
+  # committed references. Blocking by default — a regression beyond
+  # the tolerance fails CI. --advisory / CCL_BENCH_ADVISORY=1 demotes
+  # a trip to a warning for noisy shared runners.
+  TOLERANCE="${CCL_BENCH_TOLERANCE:-10}"
+  if [[ "$BENCH_ADVISORY" == "1" ]]; then
+    echo "=== bench regression check (advisory, tolerance ${TOLERANCE}%) ==="
+  else
+    echo "=== bench regression check (blocking, tolerance ${TOLERANCE}%) ==="
+  fi
+  BENCH_GATE_FAILED=0
   for micro in sim allocator morph; do
-    python3 scripts/bench_compare.py \
-      "BENCH_${micro}_throughput.json" \
-      "$ART/BENCH_${micro}_throughput.json" \
-      || echo "ADVISORY: BENCH_${micro}_throughput regressed past band"
+    if ! python3 scripts/bench_compare.py \
+        --tolerance "$TOLERANCE" \
+        "BENCH_${micro}_throughput.json" \
+        "$ART/BENCH_${micro}_throughput.json"; then
+      if [[ "$BENCH_ADVISORY" == "1" ]]; then
+        echo "ADVISORY: BENCH_${micro}_throughput regressed past band"
+      else
+        echo "FAIL: BENCH_${micro}_throughput regressed past band"
+        BENCH_GATE_FAILED=1
+      fi
+    fi
   done
+  if [[ "$BENCH_GATE_FAILED" == "1" ]]; then
+    echo "bench regression gate tripped; rerun with --advisory to demote"
+    exit 1
+  fi
 fi
 
 echo "=== CI OK ==="

@@ -55,6 +55,7 @@
 #include "support/FlatMap.h"
 #include "support/Metrics.h"
 #include "support/Random.h"
+#include "support/SweepRunner.h"
 
 #include <algorithm>
 #include <cstring>
@@ -105,6 +106,10 @@ struct MorphOptions {
   uint64_t Seed = 0x5eedULL;
   /// Rewrite parent pointers too (requires Adapter::HasParent).
   bool UpdateParents = false;
+  /// reorganizeParallel only: structures with fewer nodes than this run
+  /// the serial copy instead (thread fan-out would cost more than the
+  /// memcpy saves). 0 removes the threshold entirely.
+  uint64_t ParallelMinNodes = 4096;
 };
 
 /// Statistics from the last reorganization.
@@ -120,6 +125,24 @@ struct MorphStats {
   uint64_t FrontierPeak = 0;
 };
 
+/// Telemetry from the last reorganizeParallel/reorganizeForestParallel
+/// call (mirrors sim::ReplayShardingEvent): whether the copy actually
+/// fanned out, how it was segmented, and — on the serial fallback — a
+/// static string saying why.
+struct MorphParallelEvent {
+  uint64_t Nodes = 0;
+  uint64_t EdgeCount = 0;
+  /// Cluster-aligned node-copy segments distributed over the workers.
+  uint32_t CopySegments = 0;
+  /// Contiguous edge-list segments of the pointer-forwarding sweep.
+  uint32_t FixupSegments = 0;
+  /// Workers that could participate: min(pool threads, copy segments).
+  uint32_t Workers = 1;
+  bool Parallel = false;
+  /// Fallback reason (static string); empty when Parallel.
+  const char *Reason = "";
+};
+
 namespace morph_detail {
 /// Process-wide morph metrics (support/Metrics.h), registered once.
 struct MorphMetrics {
@@ -127,6 +150,12 @@ struct MorphMetrics {
   metrics::Counter Nodes = metrics::counter("ccmorph.nodes");
   metrics::Counter Clusters = metrics::counter("ccmorph.clusters");
   metrics::Counter HotNodes = metrics::counter("ccmorph.hot_nodes");
+  metrics::Counter ParallelPasses =
+      metrics::counter("ccmorph.parallel_passes");
+  metrics::Counter ParallelFallbacks =
+      metrics::counter("ccmorph.parallel_fallbacks");
+  metrics::Counter ParallelSegments =
+      metrics::counter("ccmorph.parallel_segments");
   metrics::Histogram PassNodes = metrics::histogram("ccmorph.pass_nodes");
   metrics::Histogram FrontierPeak =
       metrics::histogram("ccmorph.frontier_peak");
@@ -185,161 +214,130 @@ public:
                    const MorphOptions &Options = MorphOptions(),
                    const Profile *Counts = nullptr) {
     metrics::ScopedSpan PassSpan("ccmorph.pass");
-    Stats = MorphStats();
-    Stats.NodesPerBlock = Options.NodesPerBlock
-                              ? Options.NodesPerBlock
-                              : std::max<size_t>(
-                                    1, Params.BlockBytes / sizeof(Node));
+    auto Fresh = planForest(Roots, Options, Counts);
+    copyNodes(0, NewNodes.size());
+    forwardEdges(0, Edges.size(), Options.UpdateParents);
+    return finishForest(Roots, std::move(Fresh));
+  }
 
-    // A fresh arena each time so re-morphing an already-morphed tree is
-    // safe: the old arena is released only after the copy completes.
-    CacheParams ArenaParams = Params;
-    if (!Options.Color)
-      ArenaParams.HotSets = 0; // Cold region spans whole frames: plain
-                               // contiguous placement, no gaps.
-    auto Fresh = std::make_unique<ColoredArena>(ArenaParams);
+  /// Parallel reorganize: the serial address plan of reorganize() plus a
+  /// copy/fixup fanned out over \p Pool. Returns the new root; the
+  /// layout and stats are byte-identical to reorganize() at any worker
+  /// count (see reorganizeForestParallel).
+  Node *reorganizeParallel(Node *Root, const SweepRunner &Pool,
+                           const MorphOptions &Options = MorphOptions()) {
+    std::vector<Node *> Roots{Root};
+    return reorganizeForestParallel(Roots, Pool, Options)[0];
+  }
 
-    // One traversal: clusters land flat in ClusterNodes, delimited by
-    // ClusterEnds (exclusive end offsets), hot-assignment order. The
-    // traversal also records every parent/child edge and each forest
-    // root's placement index, so no later pass needs to look anything up.
-    ClusterNodes.clear();
-    ClusterEnds.clear();
-    Edges.clear();
-    RootPositions.clear();
-    formClusters(Roots, Options);
-    size_t NumClusters = ClusterEnds.size();
-    Stats.ClusterCount = NumClusters;
-    auto clusterBegin = [this](size_t I) {
-      return I == 0 ? size_t(0) : ClusterEnds[I - 1];
-    };
+  /// Parallel variant of reorganizeForest. The address *plan* stays
+  /// serial — the traversal, hot assignment, and per-cluster arena
+  /// placement are cheap and fully determine the layout — then the bulk
+  /// of the pass (memcpy of the scattered source nodes, pointer
+  /// forwarding over the recorded edge list) fans out over \p Pool:
+  ///
+  ///  * the copy is segmented at subtree-cluster granularity, so no two
+  ///    workers ever write into the same cache block (a cluster never
+  ///    straddles a block boundary);
+  ///  * the fixup splits the edge list into contiguous per-worker
+  ///    segments; every edge writes a distinct (parent, slot) — and,
+  ///    with UpdateParents, a distinct kid — so the segments merge
+  ///    deterministically regardless of execution order.
+  ///
+  /// The resulting layout, stats(), and arena contents are therefore
+  /// byte-identical to the serial path at any worker count. When the
+  /// pool cannot help (already inside a sweep worker, single thread,
+  /// single-core host, structure below Options.ParallelMinNodes), the
+  /// pass gracefully falls back to the serial copy and
+  /// lastParallelEvent().Reason says why — mirroring
+  /// MemoryHierarchy::replayParallel.
+  std::vector<Node *>
+  reorganizeForestParallel(const std::vector<Node *> &Roots,
+                           const SweepRunner &Pool,
+                           const MorphOptions &Options = MorphOptions(),
+                           const Profile *Counts = nullptr) {
+    metrics::ScopedSpan PassSpan("ccmorph.pass");
+    const char *Reason = nullptr;
+    if (SweepRunner::inWorker())
+      Reason = "already inside a sweep worker";
+    else if (Pool.threads() <= 1)
+      Reason = "single-thread pool";
+    else if (SweepRunner::defaultThreads() <= 1)
+      // One hardware thread: the fan-out is pure overhead (the copy is
+      // memory-bound; time-slicing it across threads adds wake-ups and
+      // barrier latency for zero concurrency). CCL_SWEEP_THREADS
+      // overrides, as everywhere.
+      Reason = "single-core host";
+    auto Fresh = planForest(Roots, Options, Counts);
+    if (!Reason && Options.ParallelMinNodes &&
+        Stats.NodeCount < Options.ParallelMinNodes)
+      Reason = "below the parallel node threshold";
 
-    // Decide which clusters are hot. Default: discovery order (nearest
-    // the roots first). Profiled: rank clusters by measured accesses per
-    // byte and grant the budget to the heaviest ones.
-    uint64_t HotBudget = Options.Color ? Params.hotCapacityBytes() : 0;
-    std::vector<bool> HotFlag(NumClusters, false);
-    if (Counts && Options.Color) {
-      std::vector<std::pair<double, size_t>> Ranked;
-      Ranked.reserve(NumClusters);
-      for (size_t I = 0; I < NumClusters; ++I) {
-        uint64_t Weight = 0;
-        size_t Size = ClusterEnds[I] - clusterBegin(I);
-        for (size_t At = clusterBegin(I); At < ClusterEnds[I]; ++At)
-          if (const uint64_t *Count = Counts->find(ClusterNodes[At]))
-            Weight += *Count;
-        Ranked.push_back({double(Weight) / double(Size), I});
-      }
-      std::sort(Ranked.begin(), Ranked.end(),
-                [](const auto &A, const auto &B) {
-                  return A.first > B.first ||
-                         (A.first == B.first && A.second < B.second);
-                });
-      uint64_t Budget = HotBudget;
-      for (const auto &[Weight, Index] : Ranked) {
-        uint64_t Footprint =
-            alignUp((ClusterEnds[Index] - clusterBegin(Index)) * sizeof(Node),
-                    Params.BlockBytes);
-        if (Weight <= 0.0 || Budget < Footprint)
-          continue;
-        Budget -= Footprint;
-        HotFlag[Index] = true;
-      }
-    }
-
-    // Copy pass: place each cluster and collect the new nodes in
-    // placement order. NewNodes[I] is the copy of ClusterNodes[I], so
-    // the traversal's recorded edges forward by index.
-#ifndef NDEBUG
-    Remap.clear();
-    Remap.reserve(Stats.NodeCount);
-#endif
-    NewNodes.clear();
-    NewNodes.reserve(ClusterNodes.size());
-
-    for (size_t ClusterIdx = 0; ClusterIdx < NumClusters; ++ClusterIdx) {
-      size_t Begin = clusterBegin(ClusterIdx);
-      size_t Size = ClusterEnds[ClusterIdx] - Begin;
-      size_t Bytes = Size * sizeof(Node);
-      // Budget by the block-aligned footprint: a cluster occupies a whole
-      // block in the hot region regardless of slack.
-      uint64_t Footprint = alignUp(Bytes, Params.BlockBytes);
-      bool Hot;
-      if (Counts && Options.Color) {
-        Hot = HotFlag[ClusterIdx];
-      } else {
-        Hot = HotBudget >= Footprint;
-      }
-      char *Memory;
-      // Clusters are packed: small clusters share a block, but no
-      // cluster ever straddles a block boundary.
-      if (Hot) {
-        Memory = static_cast<char *>(
-            Fresh->allocateHot(Bytes, alignof(Node), Params.BlockBytes));
-        HotBudget -= Footprint;
-        Stats.HotNodes += Size;
-      } else {
-        Memory = static_cast<char *>(
-            Fresh->allocateCold(Bytes, alignof(Node), Params.BlockBytes));
-        Stats.ColdNodes += Size;
-      }
-      for (size_t I = 0; I < Size; ++I) {
-        size_t At = Begin + I;
-        // The sources are scattered (that is why ccmorph exists); pull
-        // them in ahead of the copy.
-        if (At + CopyPrefetchDist < ClusterNodes.size())
-          __builtin_prefetch(ClusterNodes[At + CopyPrefetchDist]);
-        Node *NewNode = reinterpret_cast<Node *>(Memory + I * sizeof(Node));
-        const Node *Old = ClusterNodes[At];
-        std::memcpy(static_cast<void *>(NewNode),
-                    static_cast<const void *>(Old), sizeof(Node));
-#ifndef NDEBUG
-        bool Inserted = Remap.tryInsert(reinterpret_cast<uint64_t>(Old),
-                                        reinterpret_cast<uint64_t>(NewNode));
-        assert(Inserted && "node reachable twice: ccmorph requires a tree, "
-                           "not a DAG (paper §3.1.1)");
-        (void)Inserted;
-#endif
-        NewNodes.push_back(NewNode);
-      }
-    }
-
-    // Fixup sweep: rewrite child (and optionally parent) pointers. Every
-    // recorded edge names the parent's and child's placement indices, so
-    // the sweep is one linear walk over a flat array — no per-edge
-    // address lookup. Null kid slots keep the null copied from the
-    // source.
-    for (const Edge &E : Edges) {
-      Node *Parent = NewNodes[E.Parent];
-      Node *Kid = NewNodes[E.Kid];
-      A.setKid(Parent, E.Slot, Kid);
-      if constexpr (Adapter::HasParent)
-        if (Options.UpdateParents)
-          A.setParent(Kid, Parent);
-    }
-
-    std::vector<Node *> NewRoots;
-    NewRoots.reserve(Roots.size());
-    size_t RootCursor = 0;
-    for (Node *Root : Roots)
-      NewRoots.push_back(Root ? NewNodes[RootPositions[RootCursor++]]
-                              : nullptr);
-
-    Current = std::move(Fresh);
-    Stats.ArenaFrames = Current->framesAllocated();
-
+    LastParallel = MorphParallelEvent();
+    LastParallel.Nodes = Stats.NodeCount;
+    LastParallel.EdgeCount = Edges.size();
     const morph_detail::MorphMetrics &MM = morph_detail::morphMetrics();
-    metrics::add(MM.Passes);
-    metrics::add(MM.Nodes, Stats.NodeCount);
-    metrics::add(MM.Clusters, Stats.ClusterCount);
-    metrics::add(MM.HotNodes, Stats.HotNodes);
-    metrics::record(MM.PassNodes, Stats.NodeCount);
-    if (Stats.FrontierPeak)
-      metrics::record(MM.FrontierPeak, Stats.FrontierPeak);
-    return NewRoots;
+    if (Reason) {
+      LastParallel.Reason = Reason;
+      metrics::add(MM.ParallelFallbacks);
+      copyNodes(0, NewNodes.size());
+      forwardEdges(0, Edges.size(), Options.UpdateParents);
+      return finishForest(Roots, std::move(Fresh));
+    }
+
+    // Cluster-aligned copy segments, ~SegmentsPerWorker per thread so
+    // the chunked self-scheduling can rebalance skewed segment costs.
+    size_t NumClusters = ClusterEnds.size();
+    size_t CopySegments =
+        std::min<size_t>(NumClusters, size_t(Pool.threads()) *
+                                          SegmentsPerWorker);
+    SegmentBuf.clear();
+    for (size_t S = 0; S < CopySegments; ++S) {
+      size_t FirstCluster = S * NumClusters / CopySegments;
+      size_t LastCluster = (S + 1) * NumClusters / CopySegments;
+      SegmentBuf.push_back(
+          {clusterBegin(FirstCluster), ClusterEnds[LastCluster - 1]});
+    }
+    // The fixup reads NewNodes copies only through setKid/setParent
+    // destinations, never the copied payloads, so it could overlap the
+    // copy — but the determinism argument above needs a barrier: every
+    // copy completes before any forwarding touches its bytes. runPhases
+    // provides exactly that with a single thread spawn (an internal
+    // barrier instead of a second spawn/join round).
+    size_t NumEdges = Edges.size();
+    size_t FixupSegments = std::min<size_t>(
+        std::max<size_t>(NumEdges, 1),
+        size_t(Pool.threads()) * SegmentsPerWorker);
+    bool UpdateParents = Options.UpdateParents;
+    Pool.runPhases(
+        SegmentBuf.size(),
+        [this](size_t S) {
+          copyNodes(SegmentBuf[S].first, SegmentBuf[S].second);
+        },
+        FixupSegments,
+        [this, NumEdges, FixupSegments, UpdateParents](size_t S) {
+          forwardEdges(S * NumEdges / FixupSegments,
+                       (S + 1) * NumEdges / FixupSegments, UpdateParents);
+        },
+        1);
+
+    LastParallel.Parallel = true;
+    LastParallel.CopySegments = uint32_t(CopySegments);
+    LastParallel.FixupSegments = uint32_t(FixupSegments);
+    LastParallel.Workers =
+        std::min<uint32_t>(Pool.threads(), uint32_t(CopySegments));
+    metrics::add(MM.ParallelPasses);
+    metrics::add(MM.ParallelSegments, CopySegments + FixupSegments);
+    return finishForest(Roots, std::move(Fresh));
   }
 
   const MorphStats &stats() const { return Stats; }
+
+  /// Telemetry from the last reorganizeParallel call (untouched by the
+  /// serial entry points).
+  const MorphParallelEvent &lastParallelEvent() const {
+    return LastParallel;
+  }
   const ColoredArena *arena() const { return Current.get(); }
   const CacheParams &params() const { return Params; }
 
@@ -365,6 +363,10 @@ private:
   static constexpr size_t CopyPrefetchDist = 8;
   /// How many clusters ahead the subtree traversal pulls cluster roots.
   static constexpr size_t RootPrefetchDist = 6;
+  /// Copy/fixup segments per pool thread: enough slack for the chunked
+  /// self-scheduler to rebalance, few enough that per-segment overhead
+  /// stays negligible (mirrors replayParallel's groups-per-worker).
+  static constexpr size_t SegmentsPerWorker = 4;
 
   /// Groups the forest's nodes into clusters of at most NodesPerBlock,
   /// ordered root-outward so early clusters are the hot ones. Results
@@ -530,10 +532,198 @@ private:
     }
   }
 
+  size_t clusterBegin(size_t I) const {
+    return I == 0 ? size_t(0) : ClusterEnds[I - 1];
+  }
+
+  /// The serial address plan: one traversal (cluster formation), the
+  /// hot/cold decision, and per-cluster placement into a fresh arena.
+  /// After it returns, NewNodes[I] is the destination address of
+  /// ClusterNodes[I] — every byte of the final layout is determined,
+  /// but nothing has been copied yet. This split is what makes the
+  /// parallel copy trivially byte-identical to the serial one: both
+  /// execute the exact same allocation sequence here, and the copy
+  /// phase only fills in already-assigned addresses.
+  std::unique_ptr<ColoredArena> planForest(const std::vector<Node *> &Roots,
+                                           const MorphOptions &Options,
+                                           const Profile *Counts) {
+    Stats = MorphStats();
+    Stats.NodesPerBlock = Options.NodesPerBlock
+                              ? Options.NodesPerBlock
+                              : std::max<size_t>(
+                                    1, Params.BlockBytes / sizeof(Node));
+
+    // A fresh arena each time so re-morphing an already-morphed tree is
+    // safe: the old arena is released only after the copy completes.
+    CacheParams ArenaParams = Params;
+    if (!Options.Color)
+      ArenaParams.HotSets = 0; // Cold region spans whole frames: plain
+                               // contiguous placement, no gaps.
+    auto Fresh = std::make_unique<ColoredArena>(ArenaParams);
+
+    // One traversal: clusters land flat in ClusterNodes, delimited by
+    // ClusterEnds (exclusive end offsets), hot-assignment order. The
+    // traversal also records every parent/child edge and each forest
+    // root's placement index, so no later pass needs to look anything up.
+    ClusterNodes.clear();
+    ClusterEnds.clear();
+    Edges.clear();
+    RootPositions.clear();
+    formClusters(Roots, Options);
+    size_t NumClusters = ClusterEnds.size();
+    Stats.ClusterCount = NumClusters;
+
+    // Decide which clusters are hot. Default: discovery order (nearest
+    // the roots first). Profiled: rank clusters by measured accesses per
+    // byte and grant the budget to the heaviest ones.
+    uint64_t HotBudget = Options.Color ? Params.hotCapacityBytes() : 0;
+    std::vector<bool> HotFlag(NumClusters, false);
+    if (Counts && Options.Color) {
+      std::vector<std::pair<double, size_t>> Ranked;
+      Ranked.reserve(NumClusters);
+      for (size_t I = 0; I < NumClusters; ++I) {
+        uint64_t Weight = 0;
+        size_t Size = ClusterEnds[I] - clusterBegin(I);
+        for (size_t At = clusterBegin(I); At < ClusterEnds[I]; ++At)
+          if (const uint64_t *Count = Counts->find(ClusterNodes[At]))
+            Weight += *Count;
+        Ranked.push_back({double(Weight) / double(Size), I});
+      }
+      std::sort(Ranked.begin(), Ranked.end(),
+                [](const auto &A, const auto &B) {
+                  return A.first > B.first ||
+                         (A.first == B.first && A.second < B.second);
+                });
+      uint64_t Budget = HotBudget;
+      for (const auto &[Weight, Index] : Ranked) {
+        uint64_t Footprint =
+            alignUp((ClusterEnds[Index] - clusterBegin(Index)) * sizeof(Node),
+                    Params.BlockBytes);
+        if (Weight <= 0.0 || Budget < Footprint)
+          continue;
+        Budget -= Footprint;
+        HotFlag[Index] = true;
+      }
+    }
+
+    // Placement: assign each cluster its arena address and record the
+    // destination of every node. NewNodes[I] is where ClusterNodes[I]
+    // will be copied, so the traversal's recorded edges forward by
+    // index. The DAG check lives here (not in the copy) so both the
+    // serial and the parallel execution paths are covered.
+#ifndef NDEBUG
+    Remap.clear();
+    Remap.reserve(Stats.NodeCount);
+#endif
+    NewNodes.clear();
+    NewNodes.reserve(ClusterNodes.size());
+
+    for (size_t ClusterIdx = 0; ClusterIdx < NumClusters; ++ClusterIdx) {
+      size_t Begin = clusterBegin(ClusterIdx);
+      size_t Size = ClusterEnds[ClusterIdx] - Begin;
+      size_t Bytes = Size * sizeof(Node);
+      // Budget by the block-aligned footprint: a cluster occupies a whole
+      // block in the hot region regardless of slack.
+      uint64_t Footprint = alignUp(Bytes, Params.BlockBytes);
+      bool Hot;
+      if (Counts && Options.Color) {
+        Hot = HotFlag[ClusterIdx];
+      } else {
+        Hot = HotBudget >= Footprint;
+      }
+      char *Memory;
+      // Clusters are packed: small clusters share a block, but no
+      // cluster ever straddles a block boundary.
+      if (Hot) {
+        Memory = static_cast<char *>(
+            Fresh->allocateHot(Bytes, alignof(Node), Params.BlockBytes));
+        HotBudget -= Footprint;
+        Stats.HotNodes += Size;
+      } else {
+        Memory = static_cast<char *>(
+            Fresh->allocateCold(Bytes, alignof(Node), Params.BlockBytes));
+        Stats.ColdNodes += Size;
+      }
+      for (size_t I = 0; I < Size; ++I) {
+        Node *NewNode = reinterpret_cast<Node *>(Memory + I * sizeof(Node));
+#ifndef NDEBUG
+        bool Inserted = Remap.tryInsert(
+            reinterpret_cast<uint64_t>(ClusterNodes[Begin + I]),
+            reinterpret_cast<uint64_t>(NewNode));
+        assert(Inserted && "node reachable twice: ccmorph requires a tree, "
+                           "not a DAG (paper §3.1.1)");
+        (void)Inserted;
+#endif
+        NewNodes.push_back(NewNode);
+      }
+    }
+    return Fresh;
+  }
+
+  /// Copy phase over [First, Last) of the planned nodes: pure memcpy
+  /// into already-assigned destinations. Safe to run concurrently on
+  /// disjoint ranges; cluster-aligned ranges additionally never share a
+  /// destination cache block.
+  void copyNodes(size_t First, size_t Last) {
+    for (size_t At = First; At < Last; ++At) {
+      // The sources are scattered (that is why ccmorph exists); pull
+      // them in ahead of the copy.
+      if (At + CopyPrefetchDist < Last)
+        __builtin_prefetch(ClusterNodes[At + CopyPrefetchDist]);
+      std::memcpy(static_cast<void *>(NewNodes[At]),
+                  static_cast<const void *>(ClusterNodes[At]), sizeof(Node));
+    }
+  }
+
+  /// Fixup sweep over [First, Last) of the recorded edges: rewrite
+  /// child (and optionally parent) pointers. Every edge names the
+  /// parent's and child's placement indices, so the sweep is one linear
+  /// walk over a flat array — no per-edge address lookup. Null kid
+  /// slots keep the null copied from the source. Disjoint edge ranges
+  /// write disjoint (parent, slot) destinations, so concurrent segments
+  /// are race-free.
+  void forwardEdges(size_t First, size_t Last, bool UpdateParents) {
+    for (size_t I = First; I < Last; ++I) {
+      const Edge &E = Edges[I];
+      Node *Parent = NewNodes[E.Parent];
+      Node *Kid = NewNodes[E.Kid];
+      A.setKid(Parent, E.Slot, Kid);
+      if constexpr (Adapter::HasParent)
+        if (UpdateParents)
+          A.setParent(Kid, Parent);
+    }
+    (void)UpdateParents;
+  }
+
+  /// Publishes the completed pass: new roots, arena swap, metrics.
+  std::vector<Node *> finishForest(const std::vector<Node *> &Roots,
+                                   std::unique_ptr<ColoredArena> Fresh) {
+    std::vector<Node *> NewRoots;
+    NewRoots.reserve(Roots.size());
+    size_t RootCursor = 0;
+    for (Node *Root : Roots)
+      NewRoots.push_back(Root ? NewNodes[RootPositions[RootCursor++]]
+                              : nullptr);
+
+    Current = std::move(Fresh);
+    Stats.ArenaFrames = Current->framesAllocated();
+
+    const morph_detail::MorphMetrics &MM = morph_detail::morphMetrics();
+    metrics::add(MM.Passes);
+    metrics::add(MM.Nodes, Stats.NodeCount);
+    metrics::add(MM.Clusters, Stats.ClusterCount);
+    metrics::add(MM.HotNodes, Stats.HotNodes);
+    metrics::record(MM.PassNodes, Stats.NodeCount);
+    if (Stats.FrontierPeak)
+      metrics::record(MM.FrontierPeak, Stats.FrontierPeak);
+    return NewRoots;
+  }
+
   CacheParams Params;
   Adapter A;
   std::unique_ptr<ColoredArena> Current;
   MorphStats Stats;
+  MorphParallelEvent LastParallel;
   /// Scratch state reused across reorganizations (capacity persists).
   std::vector<Node *> ClusterNodes; ///< All nodes, cluster by cluster.
   std::vector<size_t> ClusterEnds;  ///< Exclusive end of each cluster.
@@ -545,6 +735,8 @@ private:
   std::vector<uint32_t> IndexBuf;      ///< Random-scheme permutation.
   std::vector<uint32_t> InvBuf;        ///< ... and its inverse.
   std::vector<Node *> PermBuf;
+  /// Parallel copy segments as [first, last) node ranges.
+  std::vector<std::pair<size_t, size_t>> SegmentBuf;
 #ifndef NDEBUG
   FlatMap64 Remap; ///< Debug-build DAG check (old -> new address).
 #endif

@@ -60,7 +60,15 @@ const char *ccl::heap::strategyName(CcStrategy Strategy) {
   return "unknown";
 }
 
-CcHeap::CcHeap(HeapConfig ConfigIn) : Config(ConfigIn) {
+CcHeap::CcHeap(HeapConfig ConfigIn, SlabSource *SharedSlabs,
+               uint32_t ShardIdIn)
+    : Config(ConfigIn), ShardId(ShardIdIn) {
+  if (SharedSlabs) {
+    Slabs = SharedSlabs;
+  } else {
+    OwnedSlabs = std::make_unique<SlabSource>();
+    Slabs = OwnedSlabs.get();
+  }
   assert(isPowerOf2(Config.PageBytes) && "page size must be a power of two");
   assert(isPowerOf2(Config.BlockBytes) &&
          "block size must be a power of two");
@@ -75,6 +83,12 @@ CcHeap::CcHeap(HeapConfig ConfigIn) : Config(ConfigIn) {
   BlockShift = static_cast<uint32_t>(std::countr_zero(Config.BlockBytes));
   FreeBins.resize((Config.BlockBytes - HeaderBytes) / 8);
 
+  rebindMetricsToCurrentThread();
+}
+
+CcHeap::~CcHeap() = default;
+
+void CcHeap::rebindMetricsToCurrentThread() {
   const HeapMetrics &M = heapMetrics();
   MAllocFast = metrics::cell(M.AllocFast);
   MAllocSlow = metrics::cell(M.AllocSlow);
@@ -86,19 +100,9 @@ CcHeap::CcHeap(HeapConfig ConfigIn) : Config(ConfigIn) {
   MBinRecycle = metrics::cell(M.BinRecycle);
 }
 
-CcHeap::~CcHeap() {
-  for (void *Slab : Slabs)
-    std::free(Slab);
-}
-
 CcHeap::PageInfo *CcHeap::newPage() {
   if (!SlabCursor || SlabCursor + Config.PageBytes > SlabEnd) {
-    void *Slab = std::aligned_alloc(SlabBytes, SlabBytes);
-    if (!Slab) {
-      std::fprintf(stderr, "ccl: heap out of memory\n");
-      std::abort();
-    }
-    Slabs.push_back(Slab);
+    void *Slab = Slabs->acquire(ShardId);
     SlabCursor = static_cast<char *>(Slab);
     SlabEnd = SlabCursor + SlabBytes;
   }

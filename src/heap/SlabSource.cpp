@@ -1,0 +1,59 @@
+//===- heap/SlabSource.cpp - Shared slab backing for sharded heaps --------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/SlabSource.h"
+
+#include "support/Align.h"
+#include "support/Metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ccl;
+using namespace ccl::heap;
+
+namespace {
+struct SlabMetrics {
+  metrics::Counter Acquires = metrics::counter("ccmalloc.slab_acquires");
+};
+
+const SlabMetrics &slabMetrics() {
+  static SlabMetrics M;
+  return M;
+}
+} // namespace
+
+SlabSource::~SlabSource() {
+  for (void *Slab : Slabs)
+    std::free(Slab);
+}
+
+void *SlabSource::acquire(uint32_t Owner) {
+  void *Slab = std::aligned_alloc(SlabBytes, SlabBytes);
+  if (!Slab) {
+    std::fprintf(stderr, "ccl: heap out of memory\n");
+    std::abort();
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Slabs.push_back(Slab);
+    OwnerBySlab.tryInsert(addrOf(Slab), Owner);
+  }
+  metrics::add(slabMetrics().Acquires);
+  return Slab;
+}
+
+uint32_t SlabSource::ownerOf(const void *Ptr) const {
+  uint64_t Base = alignDown(addrOf(Ptr), SlabBytes);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  const uint64_t *Found = OwnerBySlab.find(Base);
+  return Found ? uint32_t(*Found) : NoOwner;
+}
+
+size_t SlabSource::slabCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Slabs.size();
+}

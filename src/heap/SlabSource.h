@@ -1,0 +1,79 @@
+//===- heap/SlabSource.h - Shared slab backing for sharded heaps *- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The slab backing store behind CcHeap's pages, factored out so several
+/// heap shards can draw from one source. Each acquire() hands out a
+/// fresh SlabBytes-aligned slab of SlabBytes and records which shard
+/// owns it; because a slab is never split between shards, every page —
+/// and therefore every chunk — belongs to exactly one shard, and the
+/// owner of any interior pointer is one aligned-base lookup away.
+///
+/// This is the only synchronization point of the sharded allocator: the
+/// shards' fast paths (bump carve, free-bin recycle, block reclaim)
+/// touch exclusively per-shard state and take no locks; the mutex here
+/// is paid once per SlabBytes (default 1 MB, i.e. once per 128 default
+/// pages) of growth.
+///
+/// Ownership: the source frees every slab it handed out when it is
+/// destroyed, so it must outlive all heaps drawing from it. A CcHeap
+/// constructed without an explicit source owns a private one (the
+/// pre-shard behaviour).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_HEAP_SLABSOURCE_H
+#define CCL_HEAP_SLABSOURCE_H
+
+#include "support/FlatMap.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ccl::heap {
+
+/// Thread-safe source of aligned slabs with per-shard ownership.
+class SlabSource {
+public:
+  /// Slab size and alignment. Pages are carved from slabs this large so
+  /// the grouping of pages into cache-capacity regions is deterministic.
+  static constexpr size_t SlabBytes = 1 << 20;
+
+  /// Owner tag returned for pointers outside every slab.
+  static constexpr uint32_t NoOwner = ~uint32_t(0);
+
+  SlabSource() = default;
+  ~SlabSource();
+
+  SlabSource(const SlabSource &) = delete;
+  SlabSource &operator=(const SlabSource &) = delete;
+
+  /// Allocates a fresh SlabBytes-aligned slab owned by shard \p Owner.
+  /// Aborts on OOM (allocation failure is not a recoverable condition
+  /// for the experiments). Thread-safe.
+  void *acquire(uint32_t Owner);
+
+  /// Shard tag recorded for the slab containing \p Ptr, or NoOwner when
+  /// no slab contains it. Thread-safe, but not a fast path: routing
+  /// cross-shard frees through this lookup is meant for the serial
+  /// phases between parallel regions.
+  uint32_t ownerOf(const void *Ptr) const;
+
+  /// Slabs handed out so far. Thread-safe.
+  size_t slabCount() const;
+
+private:
+  mutable std::mutex Mutex;
+  std::vector<void *> Slabs;
+  /// Slab base address -> owner shard tag.
+  FlatMap64 OwnerBySlab;
+};
+
+} // namespace ccl::heap
+
+#endif // CCL_HEAP_SLABSOURCE_H

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <barrier>
 #include <cstdlib>
 #include <exception>
 #include <thread>
@@ -37,6 +38,8 @@ const SweepMetrics &sweepMetrics() {
 
 /// Depth of sweep-cell nesting on this thread (0 = not in a worker).
 thread_local unsigned SweepCellDepth = 0;
+/// Worker handle within the current run (0 = caller thread / no run).
+thread_local unsigned CurrentWorkerId = 0;
 
 struct CellDepthScope {
   CellDepthScope() { ++SweepCellDepth; }
@@ -45,6 +48,8 @@ struct CellDepthScope {
 } // namespace
 
 bool SweepRunner::inWorker() { return SweepCellDepth != 0; }
+
+unsigned SweepRunner::workerId() { return CurrentWorkerId; }
 
 unsigned SweepRunner::defaultThreads() {
   if (const char *Env = std::getenv("CCL_SWEEP_THREADS")) {
@@ -109,7 +114,83 @@ void SweepRunner::run(size_t Cells,
   std::vector<std::thread> Pool;
   Pool.reserve(Workers - 1);
   for (unsigned T = 1; T < Workers; ++T)
-    Pool.emplace_back(Worker);
+    Pool.emplace_back([&Worker, T] {
+      CurrentWorkerId = T;
+      Worker();
+    });
+  Worker();
+  for (std::thread &T : Pool)
+    T.join();
+  if (HasError.load())
+    std::rethrow_exception(FirstError);
+}
+
+void SweepRunner::runPhases(size_t Cells1,
+                            const std::function<void(size_t)> &Phase1,
+                            size_t Cells2,
+                            const std::function<void(size_t)> &Phase2,
+                            size_t Chunk) const {
+  if (Chunk == 0)
+    Chunk = 1;
+  const SweepMetrics &M = sweepMetrics();
+  metrics::add(M.Runs, 2);
+  metrics::add(M.Cells, Cells1 + Cells2);
+  metrics::record(M.RunCells, Cells1);
+  metrics::record(M.RunCells, Cells2);
+  size_t MaxCells = std::max(Cells1, Cells2);
+  unsigned Workers =
+      unsigned(std::min<size_t>(NumThreads, (MaxCells + Chunk - 1) / Chunk));
+  if (Workers <= 1) {
+    metrics::add(M.SerialRuns, 2);
+    CellDepthScope InCell;
+    for (size_t I = 0; I < Cells1; ++I)
+      Phase1(I);
+    for (size_t I = 0; I < Cells2; ++I)
+      Phase2(I);
+    return;
+  }
+
+  std::atomic<size_t> Cursor1{0}, Cursor2{0};
+  std::exception_ptr FirstError;
+  std::atomic<bool> HasError{false};
+  auto Drain = [&](std::atomic<size_t> &Cursor, size_t Cells,
+                   const std::function<void(size_t)> &Cell) {
+    for (;;) {
+      size_t First = Cursor.fetch_add(Chunk, std::memory_order_relaxed);
+      if (First >= Cells || HasError.load(std::memory_order_relaxed))
+        return;
+      metrics::add(M.Claims);
+      metrics::record(M.QueueDepth, Cells - First);
+      size_t Last = std::min(Cells, First + Chunk);
+      try {
+        for (size_t I = First; I < Last; ++I)
+          Cell(I);
+      } catch (...) {
+        if (!HasError.exchange(true))
+          FirstError = std::current_exception();
+        return;
+      }
+    }
+  };
+  // The inter-phase barrier: a worker arrives only after the phase-1
+  // cursor is drained AND its own last cell returned, so when all
+  // Workers have arrived every phase-1 cell has completed. A worker
+  // that hit an error still arrives — the others must not deadlock.
+  std::barrier<> PhaseGate(Workers);
+  auto Worker = [&] {
+    CellDepthScope InCell;
+    Drain(Cursor1, Cells1, Phase1);
+    PhaseGate.arrive_and_wait();
+    Drain(Cursor2, Cells2, Phase2);
+  };
+
+  std::vector<std::thread> Pool;
+  Pool.reserve(Workers - 1);
+  for (unsigned T = 1; T < Workers; ++T)
+    Pool.emplace_back([&Worker, T] {
+      CurrentWorkerId = T;
+      Worker();
+    });
   Worker();
   for (std::thread &T : Pool)
     T.join();

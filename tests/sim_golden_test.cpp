@@ -588,3 +588,80 @@ TEST(SweepRunner, ZeroCellsIsANoop) {
   Runner.run(0, [&](size_t) { Ran = true; });
   EXPECT_FALSE(Ran);
 }
+
+TEST(SweepRunner, RunPhasesCoversBothPhasesExactlyOnce) {
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    constexpr size_t Cells1 = 100, Cells2 = 333;
+    std::vector<std::atomic<uint32_t>> A(Cells1), B(Cells2);
+    SweepRunner Runner(Threads);
+    Runner.runPhases(
+        Cells1,
+        [&](size_t I) { A[I].fetch_add(1, std::memory_order_relaxed); },
+        Cells2,
+        [&](size_t I) { B[I].fetch_add(1, std::memory_order_relaxed); });
+    for (size_t I = 0; I < Cells1; ++I)
+      ASSERT_EQ(A[I].load(), 1u) << Threads << " threads, phase-1 cell " << I;
+    for (size_t I = 0; I < Cells2; ++I)
+      ASSERT_EQ(B[I].load(), 1u) << Threads << " threads, phase-2 cell " << I;
+  }
+}
+
+TEST(SweepRunner, RunPhasesBarrierOrdersPhases) {
+  // Every phase-2 cell must observe every phase-1 write: the internal
+  // barrier makes runPhases equivalent to two back-to-back run() calls.
+  for (unsigned Threads : {2u, 4u, 8u}) {
+    constexpr size_t Cells = 256;
+    std::vector<uint32_t> Values(Cells, 0); // Plain writes: the barrier
+                                            // is the synchronization.
+    std::atomic<uint32_t> Violations{0};
+    SweepRunner Runner(Threads);
+    Runner.runPhases(
+        Cells, [&](size_t I) { Values[I] = uint32_t(I) + 1; }, Cells,
+        [&](size_t I) {
+          // Read a scattered other cell, not just our own.
+          size_t Other = (I * 97 + 13) % Cells;
+          if (Values[Other] != uint32_t(Other) + 1)
+            Violations.fetch_add(1, std::memory_order_relaxed);
+        });
+    EXPECT_EQ(Violations.load(), 0u) << Threads << " threads";
+  }
+}
+
+TEST(SweepRunner, RunPhasesUnevenPhaseSizes) {
+  // More workers than phase-1 cells: idle workers must still arrive at
+  // the barrier (no deadlock) and help with the larger phase 2.
+  std::atomic<uint32_t> Phase1{0}, Phase2{0};
+  SweepRunner Runner(8);
+  Runner.runPhases(
+      2, [&](size_t) { Phase1.fetch_add(1, std::memory_order_relaxed); },
+      500, [&](size_t) { Phase2.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(Phase1.load(), 2u);
+  EXPECT_EQ(Phase2.load(), 500u);
+
+  // And an empty phase on either side.
+  Phase1 = 0;
+  Runner.runPhases(
+      0, [&](size_t) { Phase1.fetch_add(1, std::memory_order_relaxed); },
+      100, [&](size_t) { Phase2.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(Phase1.load(), 0u);
+  EXPECT_EQ(Phase2.load(), 600u);
+}
+
+TEST(SweepRunner, RunPhasesPropagatesExceptions) {
+  SweepRunner Runner(4);
+  EXPECT_THROW(Runner.runPhases(
+                   100,
+                   [](size_t I) {
+                     if (I == 42)
+                       throw std::runtime_error("phase-1 cell failed");
+                   },
+                   100, [](size_t) {}),
+               std::runtime_error);
+  EXPECT_THROW(Runner.runPhases(100, [](size_t) {}, 100,
+                                [](size_t I) {
+                                  if (I == 7)
+                                    throw std::runtime_error(
+                                        "phase-2 cell failed");
+                                }),
+               std::runtime_error);
+}
