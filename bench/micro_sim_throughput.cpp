@@ -17,6 +17,7 @@
 #include "sim/MemoryHierarchy.h"
 #include "sim/TraceBuffer.h"
 #include "sim/TraceShardIndex.h"
+#include "support/SimdDispatch.h"
 #include "support/SweepRunner.h"
 
 #include <benchmark/benchmark.h>
@@ -142,6 +143,38 @@ void SimPointerChaseReplay(benchmark::State &State) {
   State.SetLabel(State.range(0) == 0 ? "e5000" : "rsim");
 }
 
+// Pure decode throughput: stream the recorded pointer chase through a
+// TraceCursor and discard the records — no cache probes — so codec wins
+// are measured separately from probe wins. Arg selects the wire format:
+// 1 = v1 (per-record varints, scalar by construction), 2 = v2 (blocked
+// control/data lanes through the selected shuffle kernel; CCL_SIMD=off
+// measures the scalar fallback). The label stamps encoding + kernel.
+void SimTraceDecodeOnly(benchmark::State &State) {
+  const bool V1 = State.range(0) == 1;
+  const std::vector<uint64_t> Addrs =
+      makeTrace(TraceKind::PointerChase, 1 << 20);
+  TraceBuffer Buf(V1 ? TraceEncoding::V1 : TraceEncoding::V2);
+  for (uint64_t Addr : Addrs)
+    Buf.recordRead(Addr, 8);
+  Buf.seal();
+  uint64_t Sink = 0;
+  for (auto _ : State) {
+    TraceCursor Cursor(Buf.view());
+    TraceRecord Batch[TraceBlockCap];
+    size_t Got;
+    while ((Got = Cursor.nextBatch(Batch, TraceBlockCap)) != 0)
+      for (size_t I = 0; I < Got; ++I)
+        Sink += Batch[I].Addr;
+    benchmark::DoNotOptimize(Sink);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(Buf.records()));
+  char Label[64];
+  std::snprintf(Label, sizeof(Label), "%s %s", V1 ? "v1" : "v2",
+                V1 ? "scalar" : ccl::simdLevelName());
+  State.SetLabel(Label);
+}
+
 // Sharded replay scaling: the pointer-chase recording is indexed once
 // (per-shard sub-streams keyed by the nested L1/L2 set-index window),
 // then every iteration replays it through replayParallel on a pool of
@@ -217,6 +250,7 @@ void SimPointerChaseObserved(benchmark::State &State) {
 BENCHMARK(SimPointerChase)->Arg(0)->Arg(1);
 BENCHMARK(SimPointerChaseBatch)->Arg(0)->Arg(1);
 BENCHMARK(SimPointerChaseReplay)->Arg(0)->Arg(1);
+BENCHMARK(SimTraceDecodeOnly)->Arg(1)->Arg(2);
 // UseRealTime: the replay work runs on pool threads, so main-thread CPU
 // time (the default basis for items/sec) would overstate throughput.
 BENCHMARK(SimReplayShardedScaling)

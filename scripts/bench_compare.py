@@ -99,6 +99,11 @@ def main():
     parser.add_argument("fresh", help="freshly produced JSON")
     parser.add_argument("--tolerance", type=float, default=10.0,
                         help="allowed regression, percent (default 10)")
+    parser.add_argument("--strict-new", action="store_true",
+                        help="fail when the fresh run has benches the "
+                        "reference lacks (default: report them as new "
+                        "and pass, so adding a bench does not require "
+                        "regenerating every reference in the same change)")
     args = parser.parse_args()
 
     ref = extract(load(args.reference), args.reference)
@@ -108,6 +113,7 @@ def main():
     regressions = []
     improvements = 0
     missing = [name for name in ref if name not in new]
+    new_only = [name for name in sorted(new) if name not in ref]
     for name, ref_metrics in sorted(ref.items()):
         new_metrics = new.get(name)
         if new_metrics is None:
@@ -134,14 +140,21 @@ def main():
     for label, ref_value, new_value, delta_pct in regressions:
         print("REGRESSED %-60s %12.4g -> %-12.4g (%.1f%% worse)"
               % (label, ref_value, new_value, delta_pct))
+    for name in new_only:
+        print("NEW       %-60s (no baseline)" % name)
     if missing:
         print("note: %d reference row(s) absent from the fresh run "
               "(first: %s)" % (len(missing), missing[0]))
 
     print("bench_compare: %d metric(s) compared, %d regression(s), "
-          "%d improvement(s), tolerance %.1f%%"
-          % (compared, len(regressions), improvements, args.tolerance))
-    if compared == 0:
+          "%d improvement(s), %d new, tolerance %.1f%%"
+          % (compared, len(regressions), improvements, len(new_only),
+             args.tolerance))
+    if args.strict_new and new_only:
+        print("bench_compare: --strict-new: %d bench(es) missing from "
+              "the reference; regenerate it" % len(new_only))
+        return 1
+    if compared == 0 and not new_only:
         print("bench_compare: nothing comparable -- check that both "
               "files come from the same benchmark")
         return 1

@@ -15,9 +15,11 @@
 ///    AttributionSink (the CSV path reuses TablePrinter's CSV mode).
 ///  * jsonEscape — the one string-escaping routine everything shares.
 ///
-/// Trace schema (ccl-trace-v1), one object per line:
-///   {"kind":"meta","schema":"ccl-trace-v1","l1_block":..,"l1_sets":..,
-///    "l2_block":..,"l2_sets":..,"hot_sets":..,"sample":N}
+/// Trace schema (ccl-trace-v2; v1 dumps differ only in the meta line),
+/// one object per line:
+///   {"kind":"meta","schema":"ccl-trace-v2","l1_block":..,"l1_sets":..,
+///    "l2_block":..,"l2_sets":..,"hot_sets":..,"sample":N,
+///    "simd":"avx2","trace_block":64,"binary":"...","git":"..."}
 ///   {"kind":"region","id":3,"name":"ctree","color":"hot"}
 ///   {"kind":"a","now":..,"va":..,"pa":..,"sz":8,"w":0,"lvl":"mem",
 ///    "tlb":0,"cyc":70,"r":3}
@@ -28,7 +30,11 @@
 ///
 /// The "shard" line (replayParallel telemetry) was added after the
 /// first ccl-trace-v1 dumps shipped; readers skip unknown kinds, so old
-/// dumps parse unchanged and old readers ignore the new line.
+/// dumps parse unchanged and old readers ignore the new line. The v2
+/// meta fields ("simd" = selected decode kernel, "trace_block" =
+/// records per blocked-codec block) follow the same rule: readers
+/// never gate on the schema string, so v1 dumps keep parsing and v1
+/// readers skip the additions.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -107,13 +113,29 @@ struct ReplayShardingSummary {
   bool any() const { return Replays != 0; }
 };
 
+/// Codec identification from a trace dump's meta line: the schema
+/// string, the producing process's decode kernel, and (v2) the blocked
+/// codec's records-per-block. All-empty for dumps written before the
+/// stamps existed.
+struct TraceCodecInfo {
+  std::string Schema;
+  std::string Simd;
+  uint64_t TraceBlock = 0;
+
+  bool any() const {
+    return !Schema.empty() || !Simd.empty() || TraceBlock != 0;
+  }
+};
+
 /// Writes an AttributionSink's results as one JSON document
 /// (schema "ccl-profile-v1"): per-region profiles, totals, and the
 /// nonzero entries of the L2 set-conflict histogram. When \p Sharding
 /// is non-null and saw any replays, a "replay_sharding" object is
-/// appended to the document.
+/// appended to the document; when \p Codec carries any meta-line codec
+/// fields, a "trace_codec" object is appended too.
 void writeProfileJson(const AttributionSink &Sink, std::FILE *Out,
-                      const ReplayShardingSummary *Sharding = nullptr);
+                      const ReplayShardingSummary *Sharding = nullptr,
+                      const TraceCodecInfo *Codec = nullptr);
 
 /// Writes the per-region profile table as CSV (header + one row per
 /// region with any activity).

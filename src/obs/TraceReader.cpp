@@ -101,6 +101,10 @@ bool ccl::obs::parseTraceLine(const std::string &Line, TraceRecord &Out) {
     Out.SampleInterval = getU64(Line, "sample", U) ? U : 1;
     getString(Line, "binary", Out.Producer);
     getString(Line, "git", Out.ProducerGit);
+    getString(Line, "schema", Out.Schema);
+    getString(Line, "simd", Out.Simd);
+    if (getU64(Line, "trace_block", U))
+      Out.TraceBlock = U;
     return true;
   }
 

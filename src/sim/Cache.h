@@ -126,6 +126,12 @@ public:
     uint64_t misses() const { return Misses; }
     uint64_t accesses() const { return Accesses; }
 
+    /// Best-effort host prefetch of the tag line for \p Addr's set;
+    /// the slice twin of Cache::prefetchTags(). Never modifies state.
+    void prefetchTags(uint64_t Addr) const {
+      __builtin_prefetch(&Tags[((Addr >> BlockShift) & SetMask) * Assoc]);
+    }
+
   private:
     friend class Cache;
     explicit ShardSlice(Cache &Parent)

@@ -7,6 +7,7 @@
 #include "sim/MemoryHierarchy.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 using namespace ccl::sim;
@@ -51,26 +52,28 @@ void MemoryHierarchy::replay(TraceCursor &Cursor, size_t MaxRecords) {
     return;
   }
 
-  // Software-pipelined inner loop: decode one batch of records ahead of
-  // the simulation, warm the L1/L2 tag lines that batch will touch
-  // (non-mutating — unknown first-touch units are skipped), then run
-  // the exact access pass. Decoding is pure pointer arithmetic over the
-  // varint stream, so it overlaps with the simulator's own misses.
-  constexpr size_t BatchSize = 64;
-  TraceRecord Batch[BatchSize];
-  while (MaxRecords != 0) {
-    size_t Want = MaxRecords < BatchSize ? MaxRecords : BatchSize;
-    size_t Got = 0;
-    while (Got < Want && Cursor.next(Batch[Got]))
-      ++Got;
-    if (Got == 0)
-      return;
-    MaxRecords -= Got;
-    for (size_t I = 0; I < Got; ++I)
-      if (Batch[I].K != TraceRecord::Kind::Tick)
-        warmReplayTarget(Batch[I].Addr);
-    for (size_t I = 0; I < Got; ++I) {
-      const TraceRecord &R = Batch[I];
+  // Two-stage software pipeline over double-buffered batches: while
+  // batch N sits between its warming pass (host prefetches of the L1/L2
+  // tag lines and TLB index slots it will probe — non-mutating, unknown
+  // first-touch units skipped) and its exact access pass, batch N+1 is
+  // kernel-decoded. The decode is pure shuffle/pointer arithmetic over
+  // the blocked stream (v2) or the varint stream (v1), so it overlaps
+  // with the prefetches in flight instead of stalling behind them.
+  constexpr size_t BatchSize = TraceBlockCap;
+  TraceRecord Buf0[BatchSize], Buf1[BatchSize];
+  TraceRecord *Probe = Buf0, *Ahead = Buf1;
+  size_t ProbeCount =
+      Cursor.nextBatch(Probe, MaxRecords < BatchSize ? MaxRecords : BatchSize);
+  MaxRecords -= ProbeCount;
+  while (ProbeCount != 0) {
+    for (size_t I = 0; I < ProbeCount; ++I)
+      if (Probe[I].K != TraceRecord::Kind::Tick)
+        warmReplayTarget(Probe[I].Addr);
+    size_t AheadCount = Cursor.nextBatch(
+        Ahead, MaxRecords < BatchSize ? MaxRecords : BatchSize);
+    MaxRecords -= AheadCount;
+    for (size_t I = 0; I < ProbeCount; ++I) {
+      const TraceRecord &R = Probe[I];
       switch (R.K) {
       case TraceRecord::Kind::Read:
         if (!tryAccessFast(R.Addr, R.Arg, false))
@@ -88,6 +91,8 @@ void MemoryHierarchy::replay(TraceCursor &Cursor, size_t MaxRecords) {
         break;
       }
     }
+    std::swap(Probe, Ahead);
+    ProbeCount = AheadCount;
   }
 }
 

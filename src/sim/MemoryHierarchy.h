@@ -261,9 +261,10 @@ private:
   uint64_t translateSlow(uint64_t Addr);
 
   /// Best-effort, strictly non-mutating host prefetch of the tag lines
-  /// a replayed access will touch. Uses only translations that already
-  /// exist (cached unit or a map hit); first-touch units are skipped —
-  /// their mapping must not be created out of order.
+  /// and TLB index slot a replayed access will touch. Uses only
+  /// translations that already exist (cached unit or a map hit);
+  /// first-touch units are skipped — their mapping must not be created
+  /// out of order.
   void warmReplayTarget(uint64_t Addr) {
     uint64_t Unit = Addr >> UnitShift;
     uint64_t Mapped;
@@ -276,6 +277,8 @@ private:
     }
     L1.prefetchTags(Mapped);
     L2.prefetchTags(Mapped);
+    if (Config.Tlb.Enabled)
+      TlbModel.prefetchIndex(Mapped);
   }
 
   HierarchyConfig Config;

@@ -27,6 +27,7 @@
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 namespace {
@@ -122,31 +123,38 @@ MemoryHierarchy::replayParallel(const TraceShardIndex &Index, size_t CutA,
     const FlatMap64 &Units = Index.unitMap();
     uint64_t CachedUnit = ~0ULL;
     uint64_t CachedMapped = 0;
-    TraceRecord Record;
-    while (Left-- != 0) {
-      Cursor.next(Record);
-      if (Record.K == TraceRecord::Kind::Tick) {
-        TlbStats.BusyCycles += Record.Arg;
-        continue;
-      }
-      if (!TlbOn)
-        continue;
-      uint64_t Size = Record.Arg ? Record.Arg : 1;
-      uint64_t First = Record.Addr >> L1BlockShift;
-      uint64_t Last = (Record.Addr + Size - 1) >> L1BlockShift;
-      for (uint64_t Block = First; Block <= Last; ++Block) {
-        uint64_t Base = Block << L1BlockShift;
-        uint64_t Unit = Base >> UnitShift;
-        if (Unit != CachedUnit) {
-          const uint64_t *Known = Units.find(Unit);
-          assert(Known && "index unit map must cover the whole recording");
-          CachedUnit = Unit;
-          CachedMapped = *Known;
+    TraceRecord Batch[TraceBlockCap];
+    while (Left != 0) {
+      size_t Got = Cursor.nextBatch(
+          Batch, Left < TraceBlockCap ? Left : TraceBlockCap);
+      if (Got == 0)
+        break;
+      Left -= Got;
+      for (size_t I = 0; I < Got; ++I) {
+        const TraceRecord &Record = Batch[I];
+        if (Record.K == TraceRecord::Kind::Tick) {
+          TlbStats.BusyCycles += Record.Arg;
+          continue;
         }
-        uint64_t Mapped = (CachedMapped << UnitShift) | (Base & UnitMask);
-        if (!TlbModel.access(Mapped)) {
-          ++TlbStats.TlbMisses;
-          TlbStats.TlbStallCycles += TlbMissLatency;
+        if (!TlbOn)
+          continue;
+        uint64_t Size = Record.Arg ? Record.Arg : 1;
+        uint64_t First = Record.Addr >> L1BlockShift;
+        uint64_t Last = (Record.Addr + Size - 1) >> L1BlockShift;
+        for (uint64_t Block = First; Block <= Last; ++Block) {
+          uint64_t Base = Block << L1BlockShift;
+          uint64_t Unit = Base >> UnitShift;
+          if (Unit != CachedUnit) {
+            const uint64_t *Known = Units.find(Unit);
+            assert(Known && "index unit map must cover the whole recording");
+            CachedUnit = Unit;
+            CachedMapped = *Known;
+          }
+          uint64_t Mapped = (CachedMapped << UnitShift) | (Base & UnitMask);
+          if (!TlbModel.access(Mapped)) {
+            ++TlbStats.TlbMisses;
+            TlbStats.TlbStallCycles += TlbMissLatency;
+          }
         }
       }
     }
@@ -158,34 +166,53 @@ MemoryHierarchy::replayParallel(const TraceShardIndex &Index, size_t CutA,
     uint32_t First = uint32_t(uint64_t(Group) * Shards / Groups);
     uint32_t Last = uint32_t(uint64_t(Group + 1) * Shards / Groups);
     GroupState &G = GroupStates[Group];
-    TraceRecord Record;
+    TraceRecord Buf0[TraceBlockCap], Buf1[TraceBlockCap];
     for (uint32_t Shard = First; Shard < Last; ++Shard) {
       TraceCursor Cursor = Index.shardCursorAt(Shard, CutA);
       uint64_t Left = Index.shardAccessesBetween(Shard, CutA, CutB);
-      while (Left-- != 0) {
-        Cursor.next(Record);
-        bool IsWrite = Record.K == TraceRecord::Kind::Write;
-        if (IsWrite)
-          ++G.Stats.Writes;
-        else
-          ++G.Stats.Reads;
-        G.Stats.BusyCycles += L1HitLatency;
-        CacheAccessResult L1Result = G.L1Slice.access(Record.Addr, IsWrite);
-        if (L1Result.Hit) {
-          ++G.Stats.L1Hits;
-          continue;
+      // Same two-stage pipeline as the serial replay loop: probe batch
+      // N with its slice tag lines warmed while batch N+1 decodes.
+      TraceRecord *Probe = Buf0, *Ahead = Buf1;
+      size_t ProbeCount = Cursor.nextBatch(
+          Probe, Left < TraceBlockCap ? size_t(Left) : TraceBlockCap);
+      Left -= ProbeCount;
+      while (ProbeCount != 0) {
+        for (size_t I = 0; I < ProbeCount; ++I) {
+          G.L1Slice.prefetchTags(Probe[I].Addr);
+          G.L2Slice.prefetchTags(Probe[I].Addr);
         }
-        ++G.Stats.L1Misses;
-        G.Stats.L1StallCycles += L2HitLatency;
-        CacheAccessResult L2Result = G.L2Slice.access(Record.Addr, IsWrite);
-        if (L2Result.Hit) {
-          ++G.Stats.L2Hits;
-          continue;
+        size_t AheadCount = Cursor.nextBatch(
+            Ahead, Left < TraceBlockCap ? size_t(Left) : TraceBlockCap);
+        Left -= AheadCount;
+        for (size_t I = 0; I < ProbeCount; ++I) {
+          const TraceRecord &Record = Probe[I];
+          bool IsWrite = Record.K == TraceRecord::Kind::Write;
+          if (IsWrite)
+            ++G.Stats.Writes;
+          else
+            ++G.Stats.Reads;
+          G.Stats.BusyCycles += L1HitLatency;
+          CacheAccessResult L1Result =
+              G.L1Slice.access(Record.Addr, IsWrite);
+          if (L1Result.Hit) {
+            ++G.Stats.L1Hits;
+            continue;
+          }
+          ++G.Stats.L1Misses;
+          G.Stats.L1StallCycles += L2HitLatency;
+          CacheAccessResult L2Result =
+              G.L2Slice.access(Record.Addr, IsWrite);
+          if (L2Result.Hit) {
+            ++G.Stats.L2Hits;
+            continue;
+          }
+          if (L2Result.WritebackVictim)
+            ++G.Stats.Writebacks;
+          ++G.Stats.L2Misses;
+          G.Stats.L2StallCycles += MemLatency;
         }
-        if (L2Result.WritebackVictim)
-          ++G.Stats.Writebacks;
-        ++G.Stats.L2Misses;
-        G.Stats.L2StallCycles += MemLatency;
+        std::swap(Probe, Ahead);
+        ProbeCount = AheadCount;
       }
     }
   };

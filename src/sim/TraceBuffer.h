@@ -12,8 +12,10 @@
 /// the paper's own RSIM experiments, where one recorded address stream
 /// was evaluated against many layouts.
 ///
-/// Encoding (delta/varint, typically 2-5 bytes per record vs 16 for a
-/// raw MemAccess):
+/// Two wire encodings share one record model:
+///
+/// v1 (delta/varint, one record at a time — kept for compatibility and
+/// as the compact-recording baseline):
 ///
 ///   header byte: [7..5 reserved][4..2 size code][1..0 opcode]
 ///     opcode     0 = read, 1 = write, 2 = prefetch, 3 = tick
@@ -24,8 +26,26 @@
 ///   prefetch:   zigzag varint of (addr - prev addr)
 ///   tick:       varint cycle count
 ///
-/// Reads, writes, and prefetches share one previous-address chain, so
-/// pointer-chase locality keeps deltas short.
+/// v2 (blocked control/data lanes, the default — decodes a whole block
+/// with the table-driven shuffle kernels in sim/TraceSimd.cpp):
+///
+///   block: varint record count N (<= TraceBlockCap)
+///          varint data-lane bytes
+///          varint extra-lane bytes
+///          N control bytes | data lane | extra lane
+///   control byte: [7 reserved][6..5 width code][4..2 size code]
+///                 [1..0 opcode] — opcode and size code exactly as v1.
+///   data lane:    per record, little-endian payload of 1/2/4/8 bytes
+///                 (1 << width code): the zigzag address delta for
+///                 read/write/prefetch, the cycle count for ticks.
+///   extra lane:   varint explicit sizes (size code 0 reads/writes), in
+///                 record order.
+///
+/// Reads, writes, and prefetches share one previous-address chain in
+/// both encodings, so pointer-chase locality keeps deltas short. The
+/// encodings store identical record streams — same kinds, addresses,
+/// and arguments — so replay results cannot depend on the version
+/// (locked down by tests/trace_v2_test.cpp).
 ///
 /// A sealed buffer is immutable; TraceView (a borrowed prefix) and
 /// TraceCursor (a decoding position) are cheap value types, so many
@@ -33,24 +53,35 @@
 /// with its own cursor and hierarchy. Prefix views cost nothing beyond a
 /// record count: because a view always decodes from the start, replaying
 /// "the first N searches" of fig5's seeded key stream needs no
-/// per-record index. Encode/decode round-trips exactly — including
-/// size-0 touches and full-range addresses — locked down by
-/// tests/trace_test.cpp.
+/// per-record index. Mid-stream positions (TraceShardIndex cut points)
+/// are captured as TraceResume values, which for v2 carry the containing
+/// block plus an in-block offset. Encode/decode round-trips exactly —
+/// including size-0 touches and full-range addresses — locked down by
+/// tests/trace_test.cpp and tests/trace_v2_test.cpp.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCL_SIM_TRACEBUFFER_H
 #define CCL_SIM_TRACEBUFFER_H
 
+#include "sim/TraceSimd.h"
 #include "support/Varint.h"
 
 #include <bit>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 namespace ccl::sim {
+
+/// Wire encodings a TraceBuffer can record (see the file comment).
+enum class TraceEncoding : uint8_t { V1 = 1, V2 = 2 };
+
+/// Records per v2 block. Also the natural batch size for
+/// TraceCursor::nextBatch() — one kernel invocation decodes one block.
+inline constexpr size_t TraceBlockCap = 64;
 
 /// One decoded trace record. \p Arg holds the byte size for reads and
 /// writes and the cycle count for ticks; prefetches carry only \p Addr.
@@ -67,74 +98,203 @@ struct TraceRecord {
 struct TraceView {
   const uint8_t *Data = nullptr;
   size_t NumRecords = 0;
+  TraceEncoding Enc = TraceEncoding::V1;
 
   size_t records() const { return NumRecords; }
   bool empty() const { return NumRecords == 0; }
+  TraceEncoding encoding() const { return Enc; }
+};
+
+/// A resumable mid-stream decode position, captured from a decoding
+/// cursor (TraceCursor::resume) or a recording buffer
+/// (TraceBuffer::resumeState). The delta chain makes an encoded stream
+/// position-dependent, so ChainAddr must come from the same decode or
+/// recording; for v2, ByteOffset addresses the containing block's header
+/// and InBlock counts records already consumed inside it.
+struct TraceResume {
+  size_t ByteOffset = 0;
+  uint32_t InBlock = 0;
+  uint64_t ChainAddr = 0;
 };
 
 /// A decoding position inside a view. next() streams records in order;
-/// MemoryHierarchy::replay(cursor, n) consumes a bounded number, so one
-/// recording can be replayed in phases (e.g. fig10's warmup, then its
-/// measured window) with cycle snapshots taken in between.
+/// nextBatch() decodes up to a block at a time (the replay engine's
+/// pipelined consumption path); MemoryHierarchy::replay(cursor, n)
+/// consumes a bounded number, so one recording can be replayed in phases
+/// (e.g. fig10's warmup, then its measured window) with cycle snapshots
+/// taken in between.
 class TraceCursor {
 public:
   TraceCursor() = default;
   explicit TraceCursor(TraceView View)
-      : Pos(View.Data), RecordsLeft(View.NumRecords) {}
+      : Enc(View.Enc), Pos(View.Data), RecordsLeft(View.NumRecords) {}
 
-  /// Resumes decoding at a position captured from another cursor over the
-  /// same encoding (rawPosition()/chainAddr() taken after the same number
-  /// of next() calls). The delta chain makes an encoded stream
-  /// position-dependent, so all three values must come from the same
-  /// decode — TraceShardIndex records them at its cut points.
-  TraceCursor(const uint8_t *Pos, size_t Records, uint64_t ChainAddr)
-      : Pos(Pos), RecordsLeft(Records), PrevAddr(ChainAddr) {}
+  /// Resumes decoding at a position captured over the same encoding
+  /// after the same number of records (TraceShardIndex records these at
+  /// its cut points). \p RecordsLeft bounds the resumed decode.
+  TraceCursor(TraceView View, const TraceResume &R, size_t RecordsLeft)
+      : Enc(View.Enc), Pos(View.Data + R.ByteOffset),
+        RecordsLeft(RecordsLeft), PrevAddr(R.ChainAddr) {
+    assert((R.InBlock == 0 || Enc == TraceEncoding::V2) &&
+           "v1 positions are always block-aligned");
+    if (Enc == TraceEncoding::V2 && R.InBlock != 0 && RecordsLeft != 0) {
+      openBlock();
+      assert(R.InBlock <= BlockLen && "resume offset beyond its block");
+      // Skip the records before the cut without touching the chain:
+      // R.ChainAddr is already the post-cut value. Only their
+      // explicit-size varints occupy the extra lane.
+      for (uint32_t I = 0; I < R.InBlock; ++I)
+        if ((Ctrl[I] & 0x3) <= 1 && ((Ctrl[I] >> 2) & 0x7) == 0)
+          varintDecode(Extra);
+      BlockIdx = R.InBlock;
+      PrevAddr = R.ChainAddr;
+    }
+  }
 
   size_t remaining() const { return RecordsLeft; }
   bool done() const { return RecordsLeft == 0; }
 
-  /// Current byte position in the encoded stream (for cut bookkeeping).
-  const uint8_t *rawPosition() const { return Pos; }
-
   /// Current value of the shared previous-address delta chain.
   uint64_t chainAddr() const { return PrevAddr; }
+
+  /// Captures the current position for later resumption; \p Base must be
+  /// the view's Data pointer.
+  TraceResume resume(const uint8_t *Base) const {
+    if (Enc == TraceEncoding::V2 && BlockIdx < BlockLen)
+      return {size_t(BlockPos - Base), BlockIdx, PrevAddr};
+    return {size_t(Pos - Base), 0, PrevAddr};
+  }
 
   /// Decodes the next record into \p Out; returns false when exhausted.
   bool next(TraceRecord &Out) {
     if (RecordsLeft == 0)
       return false;
     --RecordsLeft;
+    if (Enc == TraceEncoding::V1) {
+      nextV1(Out);
+      return true;
+    }
+    if (BlockIdx == BlockLen)
+      openBlock();
+    finalizeRecord(BlockIdx++, Out);
+    return true;
+  }
+
+  /// Decodes up to \p Max records into \p Out and returns how many were
+  /// produced (0 only when exhausted). A v2 cursor returns at most the
+  /// rest of its current block, so after the first call batches align
+  /// with kernel-decoded blocks; callers loop until satisfied.
+  size_t nextBatch(TraceRecord *Out, size_t Max) {
+    if (Max > RecordsLeft)
+      Max = RecordsLeft;
+    if (Max == 0)
+      return 0;
+    if (Enc == TraceEncoding::V1) {
+      for (size_t I = 0; I < Max; ++I)
+        nextV1(Out[I]);
+      RecordsLeft -= Max;
+      return Max;
+    }
+    if (BlockIdx == BlockLen)
+      openBlock();
+    size_t Take = BlockLen - BlockIdx;
+    if (Take > Max)
+      Take = Max;
+    for (size_t I = 0; I < Take; ++I)
+      finalizeRecord(BlockIdx + uint32_t(I), Out[I]);
+    BlockIdx += uint32_t(Take);
+    RecordsLeft -= Take;
+    return Take;
+  }
+
+private:
+  /// v1 per-record decode (the original wire format).
+  void nextV1(TraceRecord &Out) {
     uint8_t Header = *Pos++;
     auto Kind = TraceRecord::Kind(Header & 0x3);
     Out.K = Kind;
     if (Kind == TraceRecord::Kind::Tick) {
       Out.Addr = 0;
       Out.Arg = varintDecode(Pos);
-      return true;
+      return;
     }
     PrevAddr += uint64_t(zigzagDecode(varintDecode(Pos)));
     Out.Addr = PrevAddr;
     if (Kind == TraceRecord::Kind::Prefetch) {
       Out.Arg = 0;
-      return true;
+      return;
     }
     uint32_t SizeCode = (Header >> 2) & 0x7;
     Out.Arg = SizeCode != 0 ? uint64_t(1) << (SizeCode - 1)
                             : varintDecode(Pos);
-    return true;
   }
 
-private:
+  /// Opens the v2 block at Pos: parses the header, locates the lanes,
+  /// and kernel-decodes every payload in one pass.
+  void openBlock() {
+    BlockPos = Pos;
+    const uint8_t *P = Pos;
+    uint64_t N = varintDecode(P);
+    uint64_t DataBytes = varintDecode(P);
+    uint64_t ExtraBytes = varintDecode(P);
+    assert(N != 0 && N <= TraceBlockCap && "corrupt v2 block header");
+    Ctrl = P;
+    const uint8_t *DataLane = Ctrl + N;
+    Extra = DataLane + DataBytes;
+    Pos = Extra + ExtraBytes;
+    BlockLen = uint32_t(N);
+    BlockIdx = 0;
+    size_t Consumed = decodeBlockPayloads(Ctrl, size_t(N), DataLane,
+                                          Payloads);
+    assert(Consumed == DataBytes && "block data lane length mismatch");
+    (void)Consumed;
+  }
+
+  /// Turns decoded payload \p I of the open block into a TraceRecord,
+  /// advancing the delta chain and the extra-lane cursor.
+  void finalizeRecord(uint32_t I, TraceRecord &Out) {
+    uint8_t C = Ctrl[I];
+    auto Kind = TraceRecord::Kind(C & 0x3);
+    Out.K = Kind;
+    if (Kind == TraceRecord::Kind::Tick) {
+      Out.Addr = 0;
+      Out.Arg = Payloads[I];
+      return;
+    }
+    PrevAddr += uint64_t(zigzagDecode(Payloads[I]));
+    Out.Addr = PrevAddr;
+    if (Kind == TraceRecord::Kind::Prefetch) {
+      Out.Arg = 0;
+      return;
+    }
+    uint32_t SizeCode = (C >> 2) & 0x7;
+    Out.Arg = SizeCode != 0 ? uint64_t(1) << (SizeCode - 1)
+                            : varintDecode(Extra);
+  }
+
+  TraceEncoding Enc = TraceEncoding::V1;
+  /// v1: the next record's header. v2: the next block's header.
   const uint8_t *Pos = nullptr;
   size_t RecordsLeft = 0;
   uint64_t PrevAddr = 0;
+  // v2 state for the open block.
+  const uint8_t *BlockPos = nullptr; ///< Header byte (resume anchor).
+  const uint8_t *Ctrl = nullptr;     ///< Control lane.
+  const uint8_t *Extra = nullptr;    ///< Extra-lane read position.
+  uint32_t BlockLen = 0;
+  uint32_t BlockIdx = 0;
+  /// Kernel-decoded raw payloads of the open block.
+  uint64_t Payloads[TraceBlockCap];
 };
 
 /// Append-only recorded access stream. Fill through the record*() calls
 /// (or a sim::RecordAccess policy), seal(), then hand out views.
 class TraceBuffer {
 public:
+  /// Records in the blocked v2 encoding by default; pass
+  /// TraceEncoding::V1 for the legacy per-record varint format.
   TraceBuffer() = default;
+  explicit TraceBuffer(TraceEncoding Enc) : Enc(Enc) {}
 
   // The encoding chains address deltas; moving the storage is fine, but
   // accidental copies of multi-megabyte recordings are not.
@@ -142,6 +302,8 @@ public:
   TraceBuffer &operator=(const TraceBuffer &) = delete;
   TraceBuffer(TraceBuffer &&) = default;
   TraceBuffer &operator=(TraceBuffer &&) = default;
+
+  TraceEncoding encodingVersion() const { return Enc; }
 
   void recordRead(uint64_t Addr, uint64_t Size) {
     recordAccess(0, Addr, Size);
@@ -153,7 +315,14 @@ public:
 
   void recordPrefetch(uint64_t Addr) {
     assert(!Sealed && "recording into a sealed trace");
-    uint8_t *P = grab();
+    if (Enc == TraceEncoding::V2) {
+      uint64_t Delta = zigzagEncode(int64_t(Addr - PrevAddr));
+      pendingPush(2, Delta);
+      PrevAddr = Addr;
+      ++NumRecords;
+      return;
+    }
+    uint8_t *P = grab(MaxRecordBytes);
     *P++ = 2;
     P = varintEncode(P, zigzagEncode(int64_t(Addr - PrevAddr)));
     Used = size_t(P - Data.data());
@@ -163,7 +332,12 @@ public:
 
   void recordTick(uint64_t Cycles) {
     assert(!Sealed && "recording into a sealed trace");
-    uint8_t *P = grab();
+    if (Enc == TraceEncoding::V2) {
+      pendingPush(3, Cycles);
+      ++NumRecords;
+      return;
+    }
+    uint8_t *P = grab(MaxRecordBytes);
     *P++ = 3;
     P = varintEncode(P, Cycles);
     Used = size_t(P - Data.data());
@@ -174,28 +348,51 @@ public:
   /// prefix() for "everything recorded up to this point".
   size_t records() const { return NumRecords; }
 
-  /// Encoded size; compactness is what makes whole-benchmark recordings
-  /// affordable (tests assert it beats sizeof(MemAccess) per record).
-  size_t bytes() const { return Used; }
+  /// Encoded size, including the not-yet-flushed v2 block; compactness
+  /// is what makes whole-benchmark recordings affordable (tests assert
+  /// it beats sizeof(MemAccess) per record).
+  size_t bytes() const { return Used + pendingEncodedBytes(); }
 
   /// Freezes the buffer (and trims its allocation). Required before
-  /// views may be shared across threads.
+  /// views may be shared across threads. v2 buffers keep
+  /// TraceSimdPadBytes of readable zero padding past the encoded bytes
+  /// so the shuffle kernels' full-width tail loads stay in bounds;
+  /// bytes() still reports the unpadded size.
   void seal() {
-    Sealed = true;
-    Data.resize(Used);
+    if (Enc == TraceEncoding::V2) {
+      flushBlock();
+      Sealed = true;
+      Data.resize(Used + TraceSimdPadBytes);
+      std::memset(Data.data() + Used, 0, TraceSimdPadBytes);
+    } else {
+      Sealed = true;
+      Data.resize(Used);
+    }
     Data.shrink_to_fit();
   }
 
   bool sealed() const { return Sealed; }
 
   /// View over the whole recording.
-  TraceView view() const { return {Data.data(), NumRecords}; }
+  TraceView view() const {
+    assert(pendingEncodedBytes() == 0 &&
+           "seal() a v2 buffer before taking views");
+    return {Data.data(), NumRecords, Enc};
+  }
 
   /// View over the first \p Records records.
   TraceView prefix(size_t Records) const {
     assert(Records <= NumRecords && "prefix longer than the recording");
-    return {Data.data(), Records};
+    assert(pendingEncodedBytes() == 0 &&
+           "seal() a v2 buffer before taking views");
+    return {Data.data(), Records, Enc};
   }
+
+  /// Position at which recording will continue: the state a cursor needs
+  /// to resume decoding right here once the buffer is sealed.
+  /// TraceShardIndex captures these for its cut points while the shard
+  /// sub-streams are still being written.
+  TraceResume resumeState() const { return {Used, PendingCount, PrevAddr}; }
 
   void clear() {
     Data.clear();
@@ -203,13 +400,25 @@ public:
     NumRecords = 0;
     PrevAddr = 0;
     Sealed = false;
+    PendingCount = 0;
+    PendingDataBytes = 0;
+    PendingExtra.clear();
   }
 
 private:
   void recordAccess(uint8_t Opcode, uint64_t Addr, uint64_t Size) {
     assert(!Sealed && "recording into a sealed trace");
     uint32_t SizeCode = sizeCodeFor(Size);
-    uint8_t *P = grab();
+    if (Enc == TraceEncoding::V2) {
+      uint64_t Delta = zigzagEncode(int64_t(Addr - PrevAddr));
+      if (SizeCode == 0)
+        varintEncode(PendingExtra, Size);
+      pendingPush(uint8_t(Opcode | (SizeCode << 2)), Delta);
+      PrevAddr = Addr;
+      ++NumRecords;
+      return;
+    }
+    uint8_t *P = grab(MaxRecordBytes);
     *P++ = uint8_t(Opcode | (SizeCode << 2));
     P = varintEncode(P, zigzagEncode(int64_t(Addr - PrevAddr)));
     if (SizeCode == 0)
@@ -219,16 +428,80 @@ private:
     ++NumRecords;
   }
 
-  /// Longest possible record: header byte + two 10-byte varints.
+  /// Smallest of {1, 2, 4, 8} bytes holding \p Value, as a width code.
+  static uint32_t widthCodeFor(uint64_t Value) {
+    if (Value < (uint64_t(1) << 8))
+      return 0;
+    if (Value < (uint64_t(1) << 16))
+      return 1;
+    if (Value < (uint64_t(1) << 32))
+      return 2;
+    return 3;
+  }
+
+  /// Appends one record to the pending v2 block, flushing when full.
+  void pendingPush(uint8_t CtrlBits, uint64_t Payload) {
+    uint32_t Width = widthCodeFor(Payload);
+    PendingCtrl[PendingCount] = uint8_t(CtrlBits | (Width << 5));
+    PendingPayload[PendingCount] = Payload;
+    PendingDataBytes += 1u << Width;
+    if (++PendingCount == TraceBlockCap)
+      flushBlock();
+  }
+
+  /// Writes the pending block: header varints, control lane, packed
+  /// little-endian payloads, extra lane.
+  void flushBlock() {
+    if (PendingCount == 0)
+      return;
+    size_t Total = varintLen(PendingCount) + varintLen(PendingDataBytes) +
+                   varintLen(PendingExtra.size()) + PendingCount +
+                   PendingDataBytes + PendingExtra.size();
+    uint8_t *P = grab(Total);
+    P = varintEncode(P, PendingCount);
+    P = varintEncode(P, PendingDataBytes);
+    P = varintEncode(P, PendingExtra.size());
+    std::memcpy(P, PendingCtrl, PendingCount);
+    P += PendingCount;
+    for (uint32_t I = 0; I < PendingCount; ++I) {
+      uint64_t V = PendingPayload[I];
+      uint32_t W = 1u << ((PendingCtrl[I] >> 5) & 0x3);
+      // Byte-by-byte keeps the lane explicitly little-endian; the
+      // compiler collapses the fixed-width cases to single stores.
+      for (uint32_t B = 0; B < W; ++B)
+        *P++ = uint8_t(V >> (8 * B));
+    }
+    if (!PendingExtra.empty()) { // data() is null when the lane is empty
+      std::memcpy(P, PendingExtra.data(), PendingExtra.size());
+      P += PendingExtra.size();
+    }
+    Used = size_t(P - Data.data());
+    PendingCount = 0;
+    PendingDataBytes = 0;
+    PendingExtra.clear();
+  }
+
+  /// Exact encoded size of the pending block (0 when none).
+  size_t pendingEncodedBytes() const {
+    if (PendingCount == 0)
+      return 0;
+    return varintLen(PendingCount) + varintLen(PendingDataBytes) +
+           varintLen(PendingExtra.size()) + PendingCount +
+           PendingDataBytes + PendingExtra.size();
+  }
+
+  /// Longest possible v1 record: header byte + two 10-byte varints.
   static constexpr size_t MaxRecordBytes = 21;
 
-  /// Returns a write pointer with at least MaxRecordBytes of headroom,
+  /// Returns a write pointer with at least \p Need bytes of headroom,
   /// growing the backing storage geometrically. Record paths write
   /// through the pointer unchecked and then advance Used — this is what
   /// keeps recording from paying a bounds check per byte.
-  uint8_t *grab() {
-    if (Used + MaxRecordBytes > Data.size())
-      Data.resize(Data.size() < 2048 ? 4096 : Data.size() * 2);
+  uint8_t *grab(size_t Need) {
+    if (Used + Need > Data.size()) {
+      size_t Grown = Data.size() < 2048 ? 4096 : Data.size() * 2;
+      Data.resize(Grown > Used + Need ? Grown : Used + Need);
+    }
     return Data.data() + Used;
   }
 
@@ -240,14 +513,21 @@ private:
     return uint32_t(std::countr_zero(Size)) + 1;
   }
 
-  /// Backing storage; sized with MaxRecordBytes of slack while
-  /// recording, trimmed to exactly Used bytes by seal().
+  TraceEncoding Enc = TraceEncoding::V2;
+  /// Backing storage; sized with headroom while recording, trimmed (plus
+  /// v2 kernel padding) by seal().
   std::vector<uint8_t> Data;
   /// Encoded bytes written so far (Data.size() is capacity-like).
   size_t Used = 0;
   size_t NumRecords = 0;
   uint64_t PrevAddr = 0;
   bool Sealed = false;
+  // Pending (unflushed) v2 block.
+  uint32_t PendingCount = 0;
+  uint32_t PendingDataBytes = 0;
+  uint8_t PendingCtrl[TraceBlockCap];
+  uint64_t PendingPayload[TraceBlockCap];
+  std::vector<uint8_t> PendingExtra;
 };
 
 } // namespace ccl::sim

@@ -62,10 +62,8 @@ TraceShardIndex::TraceShardIndex(TraceView View,
       Spec.shardable() ? (Sharded ? "" : "single worker") : Spec.Reason;
 
   const uint32_t NumShards = Spec.numShards();
-  std::vector<uint64_t> ShardChain;
   if (Sharded) {
     ShardStreams.resize(NumShards);
-    ShardChain.assign(NumShards, 0);
     ShardCuts.reserve(CutRecords.size() * NumShards);
   }
 
@@ -93,14 +91,13 @@ TraceShardIndex::TraceShardIndex(TraceView View,
   size_t NextCut = 0;
   uint64_t BlockAccesses = 0;
   auto captureCut = [&] {
-    OriginalCuts.push_back({size_t(Cursor.rawPosition() - View.Data),
-                            CutRecords[NextCut], Cursor.chainAddr()});
+    OriginalCuts.push_back({Cursor.resume(View.Data), CutRecords[NextCut]});
     CutBlockAccesses.push_back(BlockAccesses);
     CutUnits.push_back(NextUnit - 1);
     if (Sharded)
       for (uint32_t S = 0; S < NumShards; ++S)
-        ShardCuts.push_back({ShardStreams[S].bytes(),
-                             ShardStreams[S].records(), ShardChain[S]});
+        ShardCuts.push_back({ShardStreams[S].resumeState(),
+                             ShardStreams[S].records()});
   };
 
   TraceRecord Record;
@@ -124,7 +121,6 @@ TraceShardIndex::TraceShardIndex(TraceView View,
                        "the global cycle";
         ShardStreams.clear();
         ShardCuts.clear();
-        ShardChain.clear();
       }
       break;
     case TraceRecord::Kind::Read:
@@ -142,7 +138,6 @@ TraceShardIndex::TraceShardIndex(TraceView View,
           ShardStreams[Shard].recordWrite(Mapped, 1);
         else
           ShardStreams[Shard].recordRead(Mapped, 1);
-        ShardChain[Shard] = Mapped;
       }
       break;
     }

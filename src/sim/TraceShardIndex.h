@@ -88,11 +88,13 @@ struct ShardKeySpec {
 /// many times (concurrently: all accessors are const).
 class TraceShardIndex {
 public:
-  /// Decode position for resuming a stream at a cut.
+  /// Decode position for resuming a stream at a cut. Pos carries the
+  /// encoding-aware resume state (for v2 streams: the containing block
+  /// plus an in-block offset, so cuts land anywhere, not just on block
+  /// boundaries); Records is the stream-local record count at the cut.
   struct StreamPos {
-    size_t ByteOffset = 0;
+    TraceResume Pos;
     size_t Records = 0;
-    uint64_t ChainAddr = 0;
   };
 
   /// \param View     the sealed recording (must outlive the index).
@@ -142,16 +144,15 @@ public:
   /// fallback and the TLB pass both start here).
   TraceCursor originalCursorAt(size_t Cut) const {
     const StreamPos &Pos = OriginalCuts[Cut];
-    return TraceCursor(View.Data + Pos.ByteOffset,
-                       CutRecords.back() - Pos.Records, Pos.ChainAddr);
+    return TraceCursor(View, Pos.Pos, CutRecords.back() - Pos.Records);
   }
 
   /// Cursor over shard \p Shard's sub-stream positioned at \p Cut.
   TraceCursor shardCursorAt(uint32_t Shard, size_t Cut) const {
     const StreamPos &Pos = shardCut(Shard, Cut);
     const StreamPos &End = shardCut(Shard, numCuts() - 1);
-    return TraceCursor(ShardStreams[Shard].view().Data + Pos.ByteOffset,
-                       End.Records - Pos.Records, Pos.ChainAddr);
+    return TraceCursor(ShardStreams[Shard].view(), Pos.Pos,
+                       End.Records - Pos.Records);
   }
 
   /// Block accesses in shard \p Shard between two cuts.

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/BuildInfo.h"
+#include "support/SimdDispatch.h"
 
 #if defined(__linux__)
 #include <unistd.h>
@@ -17,6 +18,8 @@ using namespace ccl;
 #endif
 
 const char *ccl::gitDescribe() { return CCL_GIT_DESCRIBE; }
+
+const char *ccl::simdKernel() { return simdLevelName(); }
 
 const std::string &ccl::binaryName() {
   static const std::string Name = [] {

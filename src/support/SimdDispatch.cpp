@@ -1,0 +1,69 @@
+//===- support/SimdDispatch.cpp - Runtime SIMD level selection ------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SimdDispatch.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace ccl;
+
+SimdLevel ccl::simdDetect() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2"))
+    return SimdLevel::Avx2;
+  if (__builtin_cpu_supports("ssse3"))
+    return SimdLevel::Ssse3;
+#endif
+  return SimdLevel::Scalar;
+}
+
+const char *ccl::simdLevelName(SimdLevel Level) {
+  switch (Level) {
+  case SimdLevel::Scalar:
+    return "scalar";
+  case SimdLevel::Ssse3:
+    return "ssse3";
+  case SimdLevel::Avx2:
+    return "avx2";
+  }
+  return "scalar";
+}
+
+bool ccl::simdLevelFromName(const char *Name, SimdLevel &Out) {
+  if (Name == nullptr)
+    return false;
+  if (std::strcmp(Name, "off") == 0 || std::strcmp(Name, "scalar") == 0) {
+    Out = SimdLevel::Scalar;
+    return true;
+  }
+  if (std::strcmp(Name, "ssse3") == 0) {
+    Out = SimdLevel::Ssse3;
+    return true;
+  }
+  if (std::strcmp(Name, "avx2") == 0) {
+    Out = SimdLevel::Avx2;
+    return true;
+  }
+  if (std::strcmp(Name, "auto") == 0) {
+    Out = simdDetect();
+    return true;
+  }
+  return false;
+}
+
+SimdLevel ccl::simdLevel() {
+  // Selected once; kernels read this through a cached function pointer,
+  // so mid-run environment changes are deliberately ignored.
+  static const SimdLevel Selected = [] {
+    SimdLevel Detected = simdDetect();
+    SimdLevel Requested;
+    if (simdLevelFromName(std::getenv("CCL_SIMD"), Requested))
+      return Requested < Detected ? Requested : Detected;
+    return Detected;
+  }();
+  return Selected;
+}

@@ -1,0 +1,58 @@
+//===- support/SimdDispatch.h - Runtime SIMD level selection ---*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime selection of the SIMD instruction level used by data-parallel
+/// kernels (today: the blocked trace decoder in sim/TraceSimd.cpp). The
+/// level is detected once per process from CPU feature bits and can be
+/// capped with the CCL_SIMD environment variable:
+///
+///   CCL_SIMD=off | scalar   force the scalar reference kernels
+///   CCL_SIMD=ssse3          cap at SSSE3 (128-bit shuffles)
+///   CCL_SIMD=avx2           cap at AVX2 (256-bit shuffles)
+///   CCL_SIMD=auto (or unset) highest level the CPU supports
+///
+/// A requested level the CPU cannot execute is clamped down, never up, so
+/// setting CCL_SIMD can only disable instructions — it cannot crash a
+/// machine that lacks them. Scalar kernels are always available and are
+/// the single source of truth the vector paths are tested against.
+///
+/// simdLevelName() is the stable string ("scalar"/"ssse3"/"avx2") stamped
+/// into ccl-bench-v1 and ccl-metrics-v1 meta lines so artifacts record
+/// which kernel produced them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_SUPPORT_SIMDDISPATCH_H
+#define CCL_SUPPORT_SIMDDISPATCH_H
+
+#include <cstdint>
+
+namespace ccl {
+
+/// Instruction levels the kernels are compiled for, in strength order.
+enum class SimdLevel : uint8_t { Scalar = 0, Ssse3 = 1, Avx2 = 2 };
+
+/// Highest level the host CPU can execute (ignores CCL_SIMD).
+SimdLevel simdDetect();
+
+/// The process-wide selected level: min(CCL_SIMD request, simdDetect()),
+/// computed once on first use and stable afterwards.
+SimdLevel simdLevel();
+
+/// Stable lowercase name for \p Level ("scalar", "ssse3", "avx2").
+const char *simdLevelName(SimdLevel Level);
+
+/// Name of the process-wide selected level.
+inline const char *simdLevelName() { return simdLevelName(simdLevel()); }
+
+/// Parses a CCL_SIMD-style name; returns true and sets \p Out on success.
+/// Recognizes "off"/"scalar", "ssse3", "avx2", and "auto" (detect).
+bool simdLevelFromName(const char *Name, SimdLevel &Out);
+
+} // namespace ccl
+
+#endif // CCL_SUPPORT_SIMDDISPATCH_H

@@ -47,6 +47,18 @@ inline uint8_t *varintEncode(uint8_t *Out, uint64_t Value) {
   return Out;
 }
 
+/// Encoded length of \p Value as an unsigned LEB128 varint (1-10
+/// bytes), without writing it — used to size v2 trace block headers
+/// exactly before flushing them.
+inline size_t varintLen(uint64_t Value) {
+  size_t Len = 1;
+  while (Value >= 0x80) {
+    Value >>= 7;
+    ++Len;
+  }
+  return Len;
+}
+
 /// Decodes an unsigned LEB128 varint at \p Pos, advancing it past the
 /// encoded bytes. The caller guarantees a complete record is present
 /// (TraceBuffer only hands out views over fully written records).

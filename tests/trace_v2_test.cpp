@@ -1,0 +1,555 @@
+//===- tests/trace_v2_test.cpp - Blocked trace codec properties -----------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// The ccl-trace v2 contract: the blocked control/data-lane encoding
+// stores exactly the same record stream as v1, every decode kernel
+// (scalar, SSSE3, AVX2) produces identical payloads, mid-block resume
+// positions continue the stream exactly, and replay results — serial or
+// sharded, at any worker count — are bit-identical to a v1 replay of
+// the same recording. This suite locks each of those properties down
+// with randomized streams and adversarial block-boundary lengths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/MemoryHierarchy.h"
+#include "sim/TraceBuffer.h"
+#include "sim/TraceShardIndex.h"
+#include "sim/TraceSimd.h"
+#include "support/SimdDispatch.h"
+#include "support/SweepRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+using namespace ccl;
+using namespace ccl::sim;
+
+namespace {
+
+// Hermetic 64-bit LCG (MMIX constants), as in the sibling trace suites.
+struct Lcg {
+  uint64_t State;
+  explicit Lcg(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    return State >> 17;
+  }
+  uint64_t full() {
+    uint64_t Hi = next() << 47;
+    return Hi ^ next();
+  }
+  uint64_t bounded(uint64_t N) { return next() % N; }
+};
+
+struct RawRecord {
+  TraceRecord::Kind K;
+  uint64_t Addr;
+  uint64_t Arg; // Size for read/write, cycles for tick, 0 for prefetch.
+};
+
+void record(TraceBuffer &Buf, const RawRecord &R) {
+  switch (R.K) {
+  case TraceRecord::Kind::Read:
+    Buf.recordRead(R.Addr, R.Arg);
+    break;
+  case TraceRecord::Kind::Write:
+    Buf.recordWrite(R.Addr, R.Arg);
+    break;
+  case TraceRecord::Kind::Prefetch:
+    Buf.recordPrefetch(R.Addr);
+    break;
+  case TraceRecord::Kind::Tick:
+    Buf.recordTick(R.Arg);
+    break;
+  }
+}
+
+void expectDecodesTo(TraceView View, const std::vector<RawRecord> &Expected,
+                     size_t Count) {
+  TraceCursor Cursor(View);
+  TraceRecord Out;
+  for (size_t I = 0; I < Count; ++I) {
+    SCOPED_TRACE("record " + std::to_string(I));
+    ASSERT_TRUE(Cursor.next(Out));
+    EXPECT_EQ(Out.K, Expected[I].K);
+    if (Expected[I].K != TraceRecord::Kind::Tick) {
+      EXPECT_EQ(Out.Addr, Expected[I].Addr);
+    }
+    EXPECT_EQ(Out.Arg, Expected[I].Arg);
+  }
+  EXPECT_TRUE(Cursor.done());
+  EXPECT_FALSE(Cursor.next(Out));
+}
+
+/// A random stream hitting every encoder path: all four kinds, both
+/// near-previous and full-range addresses (all four payload widths),
+/// every size-code path including explicit varint sizes.
+std::vector<RawRecord> randomStream(uint64_t Seed, size_t Length) {
+  Lcg Rng(Seed * 0x9E3779B97F4A7C15ULL);
+  std::vector<RawRecord> Stream;
+  uint64_t Prev = 0;
+  for (size_t I = 0; I < Length; ++I) {
+    RawRecord R;
+    R.K = TraceRecord::Kind(Rng.next() % 4);
+    switch (Rng.next() % 4) {
+    case 0: // Tiny delta: 1-byte payload.
+      R.Addr = Prev + Rng.next() % 64;
+      break;
+    case 1: // Medium delta: 2-byte payload.
+      R.Addr = Prev + 200 + Rng.next() % 30000;
+      break;
+    case 2: // Large delta: 4-byte payload.
+      R.Addr = Prev - (1ULL << 20) - Rng.next() % (1ULL << 30);
+      break;
+    default: // Full-range jump: 8-byte payload.
+      R.Addr = Rng.full();
+      break;
+    }
+    switch (Rng.next() % 5) {
+    case 0:
+      R.Arg = uint64_t(1) << (Rng.next() % 7); // Fast codes 1..64.
+      break;
+    case 1:
+      R.Arg = 0; // Explicit-size path.
+      break;
+    case 2:
+      R.Arg = 3 + Rng.next() % 61; // Non-power-of-two.
+      break;
+    case 3:
+      R.Arg = 65 + Rng.next() % 100000; // Above the biggest fast code.
+      break;
+    default:
+      R.Arg = 8;
+      break;
+    }
+    if (R.K == TraceRecord::Kind::Prefetch)
+      R.Arg = 0;
+    if (R.K == TraceRecord::Kind::Tick)
+      R.Arg = Rng.next() % 100000;
+    else
+      Prev = R.Addr;
+    Stream.push_back(R);
+  }
+  return Stream;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Round-trip and cross-encoding equivalence.
+//===----------------------------------------------------------------------===//
+
+TEST(TraceV2, ArbitraryStreamsRoundTripExactly) {
+  for (uint64_t Seed = 1; Seed <= 32; ++Seed) {
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    std::vector<RawRecord> Stream = randomStream(Seed, 500);
+    TraceBuffer Buf(TraceEncoding::V2);
+    for (const RawRecord &R : Stream)
+      record(Buf, R);
+    EXPECT_EQ(Buf.records(), Stream.size());
+    Buf.seal();
+    ASSERT_TRUE(Buf.sealed());
+    EXPECT_EQ(Buf.encodingVersion(), TraceEncoding::V2);
+
+    expectDecodesTo(Buf.view(), Stream, Stream.size());
+    for (size_t Count : {size_t(0), size_t(1), Stream.size() / 2,
+                         Stream.size() - 1, Stream.size()})
+      expectDecodesTo(Buf.prefix(Count), Stream, Count);
+  }
+}
+
+TEST(TraceV2, BlockBoundaryLengthsRoundTrip) {
+  // Lengths straddling the 64-record block capacity: partial final
+  // block, exactly-full block, one spilled record, two blocks, and a
+  // two-block-plus-one tail.
+  for (size_t Length : {size_t(1), size_t(63), size_t(64), size_t(65),
+                        size_t(127), size_t(128), size_t(129)}) {
+    SCOPED_TRACE("length " + std::to_string(Length));
+    std::vector<RawRecord> Stream = randomStream(0xB10C + Length, Length);
+    TraceBuffer Buf(TraceEncoding::V2);
+    for (const RawRecord &R : Stream)
+      record(Buf, R);
+    Buf.seal();
+    expectDecodesTo(Buf.view(), Stream, Length);
+    // Prefix cuts inside the final (possibly partial) block too.
+    for (size_t Count : {Length - 1, Length / 2})
+      expectDecodesTo(Buf.prefix(Count), Stream, Count);
+  }
+}
+
+TEST(TraceV2, PayloadWidthEdgesRoundTrip) {
+  // Deltas chosen to land exactly on the 1/2/4/8-byte payload width
+  // boundaries after zigzag (payload = 2|d| or 2|d|-1): both signs at
+  // each boundary, zero delta, and full-range extremes.
+  const int64_t Deltas[] = {0,
+                            1,
+                            -1,
+                            127,
+                            -128, // Last 1-byte payloads.
+                            128,
+                            -129, // First 2-byte payloads.
+                            32767,
+                            -32768,
+                            32768, // 2 -> 4 byte boundary.
+                            (int64_t(1) << 31) - 1,
+                            -(int64_t(1) << 31),
+                            int64_t(1) << 31, // 4 -> 8 byte boundary.
+                            std::numeric_limits<int64_t>::max(),
+                            std::numeric_limits<int64_t>::min()};
+  std::vector<RawRecord> Stream;
+  uint64_t Addr = 0x7f0000000000ULL;
+  for (int64_t D : Deltas) {
+    Addr += uint64_t(D);
+    Stream.push_back({TraceRecord::Kind::Read, Addr, 8});
+  }
+  // Tick payloads hit the unsigned width boundaries directly.
+  for (uint64_t Cycles :
+       {uint64_t(0), uint64_t(255), uint64_t(256), uint64_t(65535),
+        uint64_t(65536), (uint64_t(1) << 32) - 1, uint64_t(1) << 32,
+        ~uint64_t(0)})
+    Stream.push_back({TraceRecord::Kind::Tick, 0, Cycles});
+
+  TraceBuffer Buf(TraceEncoding::V2);
+  for (const RawRecord &R : Stream)
+    record(Buf, R);
+  Buf.seal();
+  expectDecodesTo(Buf.view(), Stream, Stream.size());
+}
+
+TEST(TraceV2, DecodesIdenticallyToV1) {
+  // The two encodings must store the same record stream: decode both
+  // and compare record for record, batch boundaries ignored.
+  for (uint64_t Seed : {uint64_t(7), uint64_t(42), uint64_t(0xCC)}) {
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    std::vector<RawRecord> Stream = randomStream(Seed, 2000);
+    TraceBuffer V1(TraceEncoding::V1), V2(TraceEncoding::V2);
+    for (const RawRecord &R : Stream) {
+      record(V1, R);
+      record(V2, R);
+    }
+    V1.seal();
+    V2.seal();
+    EXPECT_EQ(V1.records(), V2.records());
+
+    TraceCursor C1(V1.view()), C2(V2.view());
+    TraceRecord A, B;
+    size_t I = 0;
+    while (C1.next(A)) {
+      SCOPED_TRACE("record " + std::to_string(I++));
+      ASSERT_TRUE(C2.next(B));
+      EXPECT_EQ(A.K, B.K);
+      EXPECT_EQ(A.Addr, B.Addr);
+      EXPECT_EQ(A.Arg, B.Arg);
+      EXPECT_EQ(C1.chainAddr(), C2.chainAddr());
+    }
+    EXPECT_FALSE(C2.next(B));
+  }
+}
+
+TEST(TraceV2, CompactnessHoldsOnPointerChase) {
+  // The blocked layout must keep the compactness property recordings
+  // rely on: a realistic chase stays well under raw MemAccess size.
+  TraceBuffer Buf(TraceEncoding::V2);
+  Lcg Rng(0xC0FFEEULL);
+  const uint64_t Base = 0x7f1200000000ULL;
+  for (unsigned I = 0; I < 100000; ++I) {
+    uint64_t Node = Rng.next() % (1ULL << 15);
+    Buf.recordRead(Base + Node * 64, 4);
+    Buf.recordTick(2);
+    Buf.recordRead(Base + Node * 64 + 8, 8);
+  }
+  Buf.seal();
+  EXPECT_LT(Buf.bytes(), Buf.records() * sizeof(MemAccess));
+  EXPECT_LT(Buf.bytes(), Buf.records() * 6);
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel parity: every SIMD level decodes raw lanes identically.
+//===----------------------------------------------------------------------===//
+
+TEST(TraceSimdKernels, AllLevelsMatchScalarOnRandomLanes) {
+  // Hand-built control/data lanes (not via TraceBuffer) so the test
+  // covers arbitrary width sequences, including runs the recorder may
+  // rarely produce. Every level must consume the same byte count and
+  // produce the same zero-extended payloads; unsupported levels clamp
+  // to scalar inside decodeBlockPayloadsAt, so this passes (vacuously
+  // for the vector rows) on any host.
+  const SimdLevel Levels[] = {SimdLevel::Scalar, SimdLevel::Ssse3,
+                              SimdLevel::Avx2};
+  for (uint64_t Seed = 1; Seed <= 64; ++Seed) {
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    Lcg Rng(Seed * 0x2545F4914F6CDD1DULL);
+    const size_t N = 1 + Rng.bounded(TraceBlockCap);
+    uint8_t Ctrl[TraceBlockCap];
+    std::vector<uint8_t> Data;
+    uint64_t Expected[TraceBlockCap];
+    for (size_t I = 0; I < N; ++I) {
+      uint32_t WidthCode = uint32_t(Rng.bounded(4));
+      // Low bits carry an arbitrary opcode/size code; the kernels must
+      // ignore everything but bits [6:5].
+      Ctrl[I] = uint8_t((Rng.next() & 0x1F) | (WidthCode << 5));
+      uint32_t Width = 1u << WidthCode;
+      uint64_t Value = Rng.full();
+      if (Width < 8)
+        Value &= (uint64_t(1) << (8 * Width)) - 1;
+      Expected[I] = Value;
+      for (uint32_t B = 0; B < Width; ++B)
+        Data.push_back(uint8_t(Value >> (8 * B)));
+    }
+    const size_t LaneBytes = Data.size();
+    Data.resize(LaneBytes + TraceSimdPadBytes, 0);
+
+    for (SimdLevel Level : Levels) {
+      SCOPED_TRACE(std::string("level ") + simdLevelName(Level));
+      uint64_t Out[TraceBlockCap];
+      size_t Consumed =
+          decodeBlockPayloadsAt(Level, Ctrl, N, Data.data(), Out);
+      EXPECT_EQ(Consumed, LaneBytes);
+      for (size_t I = 0; I < N; ++I)
+        EXPECT_EQ(Out[I], Expected[I]) << "payload " << I;
+    }
+  }
+}
+
+TEST(TraceSimdKernels, EnvNameRoundTrip) {
+  SimdLevel Level;
+  ASSERT_TRUE(simdLevelFromName("off", Level));
+  EXPECT_EQ(Level, SimdLevel::Scalar);
+  ASSERT_TRUE(simdLevelFromName("ssse3", Level));
+  EXPECT_EQ(Level, SimdLevel::Ssse3);
+  ASSERT_TRUE(simdLevelFromName("avx2", Level));
+  EXPECT_EQ(Level, SimdLevel::Avx2);
+  EXPECT_FALSE(simdLevelFromName("sse9", Level));
+  // The process-wide selection never exceeds what the host supports.
+  EXPECT_LE(uint8_t(simdLevel()), uint8_t(simdDetect()));
+}
+
+//===----------------------------------------------------------------------===//
+// Mid-block resume: the shard-cut mechanism.
+//===----------------------------------------------------------------------===//
+
+TEST(TraceV2, ResumeContinuesExactlyAtAnyCut) {
+  // Decode K records, capture resume(), and check a resumed cursor
+  // replays the remainder identically — for cuts at block boundaries,
+  // mid-block, and just before/after explicit-size records.
+  std::vector<RawRecord> Stream = randomStream(0x5EED, 400);
+  TraceBuffer Buf(TraceEncoding::V2);
+  for (const RawRecord &R : Stream)
+    record(Buf, R);
+  Buf.seal();
+  TraceView View = Buf.view();
+
+  for (size_t Cut : {size_t(0), size_t(1), size_t(37), size_t(63),
+                     size_t(64), size_t(65), size_t(100), size_t(200),
+                     size_t(399), size_t(400)}) {
+    SCOPED_TRACE("cut " + std::to_string(Cut));
+    TraceCursor Cursor(View);
+    TraceRecord Out;
+    for (size_t I = 0; I < Cut; ++I)
+      ASSERT_TRUE(Cursor.next(Out));
+    TraceResume R = Cursor.resume(View.Data);
+
+    TraceCursor Resumed(View, R, Stream.size() - Cut);
+    EXPECT_EQ(Resumed.chainAddr(), Cursor.chainAddr());
+    for (size_t I = Cut; I < Stream.size(); ++I) {
+      SCOPED_TRACE("record " + std::to_string(I));
+      ASSERT_TRUE(Resumed.next(Out));
+      EXPECT_EQ(Out.K, Stream[I].K);
+      if (Stream[I].K != TraceRecord::Kind::Tick) {
+        EXPECT_EQ(Out.Addr, Stream[I].Addr);
+      }
+      EXPECT_EQ(Out.Arg, Stream[I].Arg);
+    }
+    EXPECT_TRUE(Resumed.done());
+  }
+}
+
+TEST(TraceV2, BatchDecodeMatchesSingleStepping) {
+  // nextBatch must produce the same stream as next(), and a v2 batch
+  // never crosses a block boundary (so pipelined replay batches align
+  // with kernel-decoded blocks after the first call).
+  std::vector<RawRecord> Stream = randomStream(0xBA7C4, 1000);
+  TraceBuffer Buf(TraceEncoding::V2);
+  for (const RawRecord &R : Stream)
+    record(Buf, R);
+  Buf.seal();
+
+  for (size_t Max : {size_t(1), size_t(7), size_t(63), size_t(64),
+                     size_t(200)}) {
+    SCOPED_TRACE("max " + std::to_string(Max));
+    TraceCursor Cursor(Buf.view());
+    TraceRecord Batch[256];
+    size_t Seen = 0;
+    size_t Got;
+    while ((Got = Cursor.nextBatch(Batch, Max)) != 0) {
+      ASSERT_LE(Got, std::min(Max, TraceBlockCap));
+      for (size_t I = 0; I < Got; ++I, ++Seen) {
+        SCOPED_TRACE("record " + std::to_string(Seen));
+        EXPECT_EQ(Batch[I].K, Stream[Seen].K);
+        if (Stream[Seen].K != TraceRecord::Kind::Tick) {
+          EXPECT_EQ(Batch[I].Addr, Stream[Seen].Addr);
+        }
+        EXPECT_EQ(Batch[I].Arg, Stream[Seen].Arg);
+      }
+    }
+    EXPECT_EQ(Seen, Stream.size());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Replay parity: v2 replays must be bit-identical to v1 replays.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Every externally observable number a hierarchy exposes (the
+/// shard_replay_test snapshot).
+using Snapshot = std::array<uint64_t, 24>;
+
+Snapshot snap(const MemoryHierarchy &M) {
+  const SimStats &S = M.stats();
+  return {S.Reads,          S.Writes,
+          S.L1Hits,         S.L1Misses,
+          S.L2Hits,         S.L2Misses,
+          S.TlbMisses,      S.Writebacks,
+          S.SwPrefetches,   S.HwPrefetches,
+          S.PrefetchFullHits, S.PrefetchPartialHits,
+          S.BusyCycles,     S.L1StallCycles,
+          S.L2StallCycles,  S.TlbStallCycles,
+          S.PrefetchIssueCycles, M.now(),
+          M.l1().hits(),    M.l1().evictions(),
+          M.l2().hits(),    M.l2().evictions(),
+          M.tlb().hits(),   M.tlb().misses()};
+}
+
+void expectSame(const Snapshot &A, const Snapshot &B,
+                const std::string &Label) {
+  SCOPED_TRACE(Label);
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(A[I], B[I]) << "counter " << I;
+}
+
+/// A mixed simulation trace recorded into \p Enc (the shard_replay_test
+/// generator, parameterized by encoding).
+TraceBuffer mixedTrace(TraceEncoding Enc, uint64_t Seed, size_t Records) {
+  TraceBuffer Buf(Enc);
+  Lcg Rng(Seed);
+  const uint64_t Base = 0x7f0000000000ULL + (Seed & 0xFFF) * 4096;
+  const uint64_t Span = 8ULL << 20;
+  const uint64_t Sizes[] = {0, 1, 2, 4, 8, 16, 48, 64, 100, 128};
+  uint64_t Node = 0;
+  for (size_t I = 0; I < Records; ++I) {
+    uint64_t Roll = Rng.bounded(100);
+    if (Roll < 5) {
+      Buf.recordTick(1 + Rng.bounded(20));
+      continue;
+    }
+    uint64_t Addr;
+    if (Roll < 70) {
+      Addr = Base + Node * 64;
+      Node = Rng.bounded(Span / 64);
+    } else {
+      Addr = Base + Rng.bounded(Span);
+    }
+    uint64_t Size = Sizes[Rng.bounded(sizeof(Sizes) / sizeof(Sizes[0]))];
+    if (Roll % 4 == 3)
+      Buf.recordWrite(Addr, Size);
+    else
+      Buf.recordRead(Addr, Size);
+  }
+  Buf.seal();
+  return Buf;
+}
+
+} // namespace
+
+TEST(TraceV2Replay, SerialParityWithV1BothPresets) {
+  TraceBuffer V1 = mixedTrace(TraceEncoding::V1, 0x909, 80000);
+  TraceBuffer V2 = mixedTrace(TraceEncoding::V2, 0x909, 80000);
+  ASSERT_EQ(V1.records(), V2.records());
+  for (const char *Preset : {"e5000", "rsim"}) {
+    HierarchyConfig Config = std::string(Preset) == "e5000"
+                                 ? HierarchyConfig::ultraSparcE5000()
+                                 : HierarchyConfig::rsimTable1();
+    MemoryHierarchy A(Config), B(Config);
+    A.replay(V1.view());
+    B.replay(V2.view());
+    expectSame(snap(A), snap(B), Preset);
+  }
+}
+
+TEST(TraceV2Replay, PrefixAndPhasedReplaysMatchV1) {
+  TraceBuffer V1 = mixedTrace(TraceEncoding::V1, 0xFA5E, 50000);
+  TraceBuffer V2 = mixedTrace(TraceEncoding::V2, 0xFA5E, 50000);
+  HierarchyConfig Config = HierarchyConfig::ultraSparcE5000();
+  size_t N = V2.records();
+
+  for (size_t Count : {size_t(1), size_t(63), size_t(64), N / 3, N}) {
+    MemoryHierarchy A(Config), B(Config);
+    A.replay(V1.prefix(Count));
+    B.replay(V2.prefix(Count));
+    expectSame(snap(A), snap(B), "prefix " + std::to_string(Count));
+  }
+
+  // Phased consumption through bounded replay(cursor, n) calls, with
+  // chunk sizes that repeatedly split v2 blocks.
+  MemoryHierarchy A(Config), B(Config);
+  TraceCursor CursorA(V1.view()), CursorB(V2.view());
+  for (size_t Chunk : {size_t(1), size_t(63), size_t(64), size_t(65),
+                       size_t(1000)}) {
+    A.replay(CursorA, Chunk);
+    B.replay(CursorB, Chunk);
+    expectSame(snap(A), snap(B), "chunk " + std::to_string(Chunk));
+  }
+  while (!CursorA.done())
+    A.replay(CursorA, 4096);
+  while (!CursorB.done())
+    B.replay(CursorB, 4096);
+  expectSame(snap(A), snap(B), "phased tail");
+}
+
+TEST(TraceV2Replay, ShardedParityAcrossWorkerCounts) {
+  // The acceptance bar: sharded v2 replay produces byte-identical stats
+  // to a serial v1 replay of the same stream, at every worker count.
+  TraceBuffer V1 = mixedTrace(TraceEncoding::V1, 0x51AB5, 100000);
+  TraceBuffer V2 = mixedTrace(TraceEncoding::V2, 0x51AB5, 100000);
+  HierarchyConfig Config = HierarchyConfig::ultraSparcE5000();
+
+  MemoryHierarchy Reference(Config);
+  Reference.replay(V1.view());
+  Snapshot Want = snap(Reference);
+
+  unsigned ParallelRuns = 0;
+  for (unsigned Workers : {1u, 2u, 4u, 8u}) {
+    SweepRunner Pool(Workers);
+    TraceShardIndex Index(V2.view(), Config, {}, Workers);
+    MemoryHierarchy M(Config);
+    obs::ReplayShardingEvent Event = M.replayParallel(Index, Pool);
+    ParallelRuns += Event.Parallel;
+    expectSame(Want, snap(M),
+               "workers " + std::to_string(Workers) +
+                   (Event.Parallel ? " (parallel)" : " (serial)"));
+  }
+  // Multi-worker runs must actually take the sharded path (the index
+  // shards both presets; only Workers=1 declines).
+  EXPECT_GE(ParallelRuns, 3u);
+
+  // And the index's own cut cursors (the mid-block resume path) cover
+  // phased spans exactly.
+  TraceShardIndex Phased(V2.view(), Config,
+                         {V2.records() / 4, V2.records() / 2}, 4);
+  SweepRunner Pool(4);
+  MemoryHierarchy M(Config);
+  for (size_t Cut = 1; Cut < Phased.numCuts(); ++Cut)
+    M.replayParallel(Phased, Cut - 1, Cut, Pool);
+  expectSame(Want, snap(M), "phased cuts");
+}
