@@ -6,6 +6,8 @@
 
 #include "bdd/Bdd.h"
 
+#include "support/Reflect.h"
+
 #include <cassert>
 #include <cmath>
 #include <unordered_set>
@@ -176,4 +178,8 @@ uint64_t BddManager::nodeCount(BddNode *F) {
     Stack.push_back(N->High);
   }
   return Seen.size();
+}
+
+void ccl::bdd::reflectBddTypes() {
+  CCL_REFLECT("bdd", BddNode, Var, Value, Low, High);
 }

@@ -49,6 +49,14 @@ namespace ccl {
 /// Cross-shard operations — routing a free to the shard that owns the
 /// pointer, merging stats — are for the serial phases between parallel
 /// regions.
+///
+/// Thread-safety contract (checked where a capability exists): a shard
+/// holds no locks and must be driven by at most one thread at a time;
+/// the only mutex in the sharded configuration is SlabSource's, whose
+/// guarded state carries CCL_GUARDED_BY annotations
+/// (support/ThreadSafety.h) and is verified under the clang-tsa preset.
+/// shardOwning()/ccfreeRouted()/mergedStats() take that mutex via
+/// SlabSource and are therefore serial-phase operations.
 class CcAllocator {
 public:
   /// \param Params cache geometry; only BlockBytes and PageBytes matter

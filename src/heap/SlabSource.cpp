@@ -27,6 +27,9 @@ const SlabMetrics &slabMetrics() {
 } // namespace
 
 SlabSource::~SlabSource() {
+  // No concurrent users can remain (heaps must not outlive their
+  // source), but the lock keeps the guarded-member access analyzable.
+  MutexLock Lock(Mutex);
   for (void *Slab : Slabs)
     std::free(Slab);
 }
@@ -38,7 +41,7 @@ void *SlabSource::acquire(uint32_t Owner) {
     std::abort();
   }
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    MutexLock Lock(Mutex);
     Slabs.push_back(Slab);
     OwnerBySlab.tryInsert(addrOf(Slab), Owner);
   }
@@ -48,12 +51,12 @@ void *SlabSource::acquire(uint32_t Owner) {
 
 uint32_t SlabSource::ownerOf(const void *Ptr) const {
   uint64_t Base = alignDown(addrOf(Ptr), SlabBytes);
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(Mutex);
   const uint64_t *Found = OwnerBySlab.find(Base);
   return Found ? uint32_t(*Found) : NoOwner;
 }
 
 size_t SlabSource::slabCount() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(Mutex);
   return Slabs.size();
 }

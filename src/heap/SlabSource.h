@@ -29,10 +29,10 @@
 #define CCL_HEAP_SLABSOURCE_H
 
 #include "support/FlatMap.h"
+#include "support/ThreadSafety.h"
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 namespace ccl::heap {
@@ -68,10 +68,10 @@ public:
   size_t slabCount() const;
 
 private:
-  mutable std::mutex Mutex;
-  std::vector<void *> Slabs;
+  mutable ccl::Mutex Mutex;
+  std::vector<void *> Slabs CCL_GUARDED_BY(Mutex);
   /// Slab base address -> owner shard tag.
-  FlatMap64 OwnerBySlab;
+  FlatMap64 OwnerBySlab CCL_GUARDED_BY(Mutex);
 };
 
 } // namespace ccl::heap

@@ -6,6 +6,7 @@
 
 #include "olden/TreeAdd.h"
 
+#include "support/Reflect.h"
 #include "support/Timer.h"
 
 using namespace ccl;
@@ -115,4 +116,8 @@ BenchResult ccl::olden::runTreeAdd(const TreeAddConfig &Config, Variant V,
   BenchResult Result = runImpl(Config, V, Sim, A);
   Result.NativeSeconds = T.elapsedSec();
   return Result;
+}
+
+void ccl::olden::reflectTreeAddTypes() {
+  CCL_REFLECT("olden", TreeNode, Val, Pad, Left, Right);
 }

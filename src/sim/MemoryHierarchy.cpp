@@ -6,6 +6,8 @@
 
 #include "sim/MemoryHierarchy.h"
 
+#include "support/Reflect.h"
+
 #include <algorithm>
 #include <utility>
 #include <vector>
@@ -301,4 +303,18 @@ void MemoryHierarchy::reset() {
   NextUnit = 1;
   Cycle = 0;
   Stats = SimStats();
+}
+
+void ccl::sim::reflectSimTypes() {
+  CCL_REFLECT("sim", MemAccess, Addr, Size, IsWrite);
+  CCL_REFLECT("sim", CacheConfig, CapacityBytes, BlockBytes, Associativity,
+              HitLatency);
+  CCL_REFLECT("sim", TlbConfig, Enabled, Entries, PageBytes, MissLatency);
+  CCL_REFLECT("sim", HierarchyConfig, L1, L2, MemoryLatency,
+              PrefetchIssueCost, Tlb, Prefetch);
+  CCL_REFLECT("sim", SimStats, Reads, Writes, SwPrefetches, HwPrefetches,
+              L1Hits, L1Misses, L2Hits, L2Misses, PrefetchFullHits,
+              PrefetchPartialHits, TlbMisses, Writebacks, BusyCycles,
+              L1StallCycles, L2StallCycles, TlbStallCycles,
+              PrefetchIssueCycles);
 }

@@ -303,6 +303,12 @@ private:
   uint64_t LastMapped = 0;
 };
 
+/// Registers the simulator's parameter/result layouts (MemAccess,
+/// SimStats, CacheConfig, HierarchyConfig) with the reflection
+/// TypeRegistry (support/Reflect.h). Idempotent; defined in
+/// MemoryHierarchy.cpp.
+void reflectSimTypes();
+
 } // namespace ccl::sim
 
 #endif // CCL_SIM_MEMORYHIERARCHY_H

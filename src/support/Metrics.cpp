@@ -18,9 +18,10 @@
 
 #include "support/Metrics.h"
 
+#include "support/ThreadSafety.h"
+
 #include <chrono>
 #include <cstring>
-#include <mutex>
 #include <new>
 #include <pthread.h>
 
@@ -72,22 +73,24 @@ struct SpanRec {
 };
 
 struct RegistryState {
-  std::mutex Mutex;
-  char CounterNames[MaxCounters][MaxNameLen] = {};
-  char HistogramNames[MaxHistograms][MaxNameLen] = {};
-  uint32_t NumCounters = 0;
-  uint32_t NumHistograms = 0;
-  bool CounterOverflow = false;
-  bool HistogramOverflow = false;
-  ShardImpl *AllShards = nullptr;
-  ShardImpl *FreeShards = nullptr;
-  uint32_t NextStatic = 0; ///< Next unleased StaticShards index.
-  uint32_t NextTid = 0;
-  SpanRec Spans[MaxSpans];
-  uint32_t NumSpans = 0;
-  uint64_t SpansDropped = 0;
-  pthread_key_t ExitKey;
-  bool ExitKeyValid = false;
+  ccl::Mutex Mutex;
+  char CounterNames[MaxCounters][MaxNameLen] CCL_GUARDED_BY(Mutex) = {};
+  char HistogramNames[MaxHistograms][MaxNameLen] CCL_GUARDED_BY(Mutex) = {};
+  uint32_t NumCounters CCL_GUARDED_BY(Mutex) = 0;
+  uint32_t NumHistograms CCL_GUARDED_BY(Mutex) = 0;
+  bool CounterOverflow CCL_GUARDED_BY(Mutex) = false;
+  bool HistogramOverflow CCL_GUARDED_BY(Mutex) = false;
+  /// Shard *cells* are relaxed atomics readable without the mutex; the
+  /// list links themselves are mutated only under it.
+  ShardImpl *AllShards CCL_GUARDED_BY(Mutex) = nullptr;
+  ShardImpl *FreeShards CCL_GUARDED_BY(Mutex) = nullptr;
+  uint32_t NextStatic CCL_GUARDED_BY(Mutex) = 0; ///< Next unleased index.
+  uint32_t NextTid CCL_GUARDED_BY(Mutex) = 0;
+  SpanRec Spans[MaxSpans] CCL_GUARDED_BY(Mutex);
+  uint32_t NumSpans CCL_GUARDED_BY(Mutex) = 0;
+  uint64_t SpansDropped CCL_GUARDED_BY(Mutex) = 0;
+  pthread_key_t ExitKey CCL_GUARDED_BY(Mutex);
+  bool ExitKeyValid CCL_GUARDED_BY(Mutex) = false;
 };
 
 RegistryState &state() {
@@ -123,7 +126,7 @@ uint32_t findOrAdd(char (*Names)[MaxNameLen], uint32_t &Num,
 void releaseShard(void *P) {
   auto *S = static_cast<ShardImpl *>(P);
   RegistryState &R = state();
-  std::lock_guard<std::mutex> Lock(R.Mutex);
+  MutexLock Lock(R.Mutex);
   S->FreeNext = R.FreeShards;
   R.FreeShards = S;
 }
@@ -136,7 +139,7 @@ ShardImpl *acquireShard() {
   if (TlsShard)
     return TlsShard;
   RegistryState &R = state();
-  std::lock_guard<std::mutex> Lock(R.Mutex);
+  MutexLock Lock(R.Mutex);
   if (!R.ExitKeyValid)
     R.ExitKeyValid = pthread_key_create(&R.ExitKey, releaseShard) == 0;
   ShardImpl *S = R.FreeShards;
@@ -173,7 +176,7 @@ Cell *histogramCells() {
 
 Counter metrics::counter(const char *Name) {
   RegistryState &R = state();
-  std::lock_guard<std::mutex> Lock(R.Mutex);
+  MutexLock Lock(R.Mutex);
   Counter C;
   C.Id = findOrAdd(R.CounterNames, R.NumCounters, Name, MaxCounters,
                    R.CounterOverflow);
@@ -182,7 +185,7 @@ Counter metrics::counter(const char *Name) {
 
 Histogram metrics::histogram(const char *Name) {
   RegistryState &R = state();
-  std::lock_guard<std::mutex> Lock(R.Mutex);
+  MutexLock Lock(R.Mutex);
   Histogram H;
   H.Id = findOrAdd(R.HistogramNames, R.NumHistograms, Name, MaxHistograms,
                    R.HistogramOverflow);
@@ -202,7 +205,7 @@ void metrics::recordSpan(const char *Name, uint64_t StartNs,
 #if CCL_METRICS_ENABLED
   uint32_t Tid = acquireShard()->Tid;
   RegistryState &R = state();
-  std::lock_guard<std::mutex> Lock(R.Mutex);
+  MutexLock Lock(R.Mutex);
   if (R.NumSpans >= MaxSpans) {
     ++R.SpansDropped;
     return;
@@ -224,7 +227,7 @@ uint32_t HistogramSnapshot::usedBuckets() const {
 
 Snapshot metrics::snapshot() {
   RegistryState &R = state();
-  std::lock_guard<std::mutex> Lock(R.Mutex);
+  MutexLock Lock(R.Mutex);
   Snapshot Out;
   Out.Overflowed = R.CounterOverflow || R.HistogramOverflow;
   Out.SpansDropped = R.SpansDropped;
@@ -265,7 +268,7 @@ Snapshot metrics::snapshot() {
 
 void metrics::resetForTest() {
   RegistryState &R = state();
-  std::lock_guard<std::mutex> Lock(R.Mutex);
+  MutexLock Lock(R.Mutex);
   for (ShardImpl *S = R.AllShards; S; S = S->AllNext) {
     for (Cell &C : S->Counters)
       C.store(0, std::memory_order_relaxed);

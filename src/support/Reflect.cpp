@@ -1,0 +1,125 @@
+//===- support/Reflect.cpp - Struct layout reflection registry ------------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Reflect.h"
+#include "support/ThreadSafety.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ccl::reflect {
+
+uint32_t TypeDesc::fieldBytes() const {
+  uint32_t Sum = 0;
+  for (const FieldDesc &F : Fields)
+    Sum += F.Size;
+  return Sum;
+}
+
+uint32_t TypeDesc::paddingBytes() const {
+  uint32_t Declared = fieldBytes();
+  return Size > Declared ? Size - Declared : 0;
+}
+
+int TypeDesc::fieldAt(uint32_t Offset) const {
+  for (size_t I = 0; I < Fields.size(); ++I)
+    if (Offset >= Fields[I].Offset && Offset < Fields[I].end())
+      return static_cast<int>(I);
+  return -1;
+}
+
+struct TypeRegistry::State {
+  mutable ccl::Mutex Mutex;
+  /// Pointer-stable storage: lookups hand out pointers into these nodes
+  /// while registration keeps appending.
+  std::vector<TypeDesc *> Types CCL_GUARDED_BY(Mutex);
+
+  ~State() {
+    for (TypeDesc *T : Types)
+      delete T;
+  }
+};
+
+TypeRegistry::State &TypeRegistry::state() const {
+  static State S;
+  return S;
+}
+
+TypeRegistry &TypeRegistry::global() {
+  static TypeRegistry R;
+  return R;
+}
+
+uint32_t TypeRegistry::add(TypeDesc Desc) {
+  std::sort(Desc.Fields.begin(), Desc.Fields.end(),
+            [](const FieldDesc &A, const FieldDesc &B) {
+              return A.Offset < B.Offset;
+            });
+  State &S = state();
+  ccl::MutexLock Lock(S.Mutex);
+  for (size_t I = 0; I < S.Types.size(); ++I)
+    if (S.Types[I]->Name == Desc.Name)
+      return static_cast<uint32_t>(I);
+  S.Types.push_back(new TypeDesc(std::move(Desc)));
+  return static_cast<uint32_t>(S.Types.size() - 1);
+}
+
+int TypeRegistry::idOf(std::string_view Name) const {
+  State &S = state();
+  ccl::MutexLock Lock(S.Mutex);
+  for (size_t I = 0; I < S.Types.size(); ++I)
+    if (S.Types[I]->Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+const TypeDesc *TypeRegistry::find(std::string_view Name) const {
+  State &S = state();
+  ccl::MutexLock Lock(S.Mutex);
+  for (TypeDesc *T : S.Types)
+    if (T->Name == Name)
+      return T;
+  return nullptr;
+}
+
+const TypeDesc &TypeRegistry::type(uint32_t Id) const {
+  State &S = state();
+  ccl::MutexLock Lock(S.Mutex);
+  assert(Id < S.Types.size() && "bad type id");
+  return *S.Types[Id];
+}
+
+size_t TypeRegistry::typeCount() const {
+  State &S = state();
+  ccl::MutexLock Lock(S.Mutex);
+  return S.Types.size();
+}
+
+std::vector<const TypeDesc *> TypeRegistry::all() const {
+  State &S = state();
+  std::vector<const TypeDesc *> Out;
+  {
+    ccl::MutexLock Lock(S.Mutex);
+    Out.assign(S.Types.begin(), S.Types.end());
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const TypeDesc *A, const TypeDesc *B) {
+              if (A->Module != B->Module)
+                return A->Module < B->Module;
+              return A->Name < B->Name;
+            });
+  return Out;
+}
+
+void TypeRegistry::clearForTest() {
+  State &S = state();
+  ccl::MutexLock Lock(S.Mutex);
+  for (TypeDesc *T : S.Types)
+    delete T;
+  S.Types.clear();
+}
+
+} // namespace ccl::reflect

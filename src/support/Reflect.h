@@ -1,0 +1,233 @@
+//===- support/Reflect.h - Struct layout reflection registry ---*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight field-layout reflection facility: the CCL_REFLECT macro
+/// records sizeof/alignof/offsetof and a short type name for each field
+/// of a struct into a process-wide TypeRegistry. The layout linter
+/// (src/lint + tools/ccllint) analyzes the registry; the field-level
+/// affinity profiler (obs/FieldProfile.h) uses it to attribute simulated
+/// misses to field offsets.
+///
+/// Registration is deliberately *explicit*: each struct-owning module
+/// exposes a reflectXxxTypes() function that the tool/tests call. Static
+/// initializers in static libraries would be dropped by the linker for
+/// TUs nothing references, so self-registration cannot be trusted here.
+///
+/// Usage, inside the TU that owns the definition:
+///
+///   void ccl::trees::reflectTreeTypes() {
+///     CCL_REFLECT("trees", BstNode, Key, Value, Left, Right);
+///     CCL_REFLECT("trees", BTreeNode, Count, Leaf, Pad, Keys, Kids);
+///   }
+///
+/// The macro evaluates to the type's registry id (uint32_t), and
+/// re-registering the same type name is a cheap no-op returning the
+/// existing id, so reflect functions are idempotent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_SUPPORT_REFLECT_H
+#define CCL_SUPPORT_REFLECT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace ccl::reflect {
+
+/// Layout facts for one field, as recorded at compile time.
+struct FieldDesc {
+  std::string Name;
+  /// offsetof(Type, Field).
+  uint32_t Offset = 0;
+  /// sizeof the whole field (arrays: the whole array).
+  uint32_t Size = 0;
+  uint32_t Align = 1;
+  /// Short type spelling: "u32", "i64", "ptr", "f64", "u32[4]", ...
+  std::string TypeName;
+  bool IsPointer = false;
+  /// 1 for scalars, N for T[N] array fields.
+  uint32_t ElemCount = 1;
+
+  uint32_t end() const { return Offset + Size; }
+};
+
+/// Layout facts for one reflected struct.
+struct TypeDesc {
+  std::string Name;
+  /// Owning module ("trees", "olden", "bdd", "heap", "sim", ...).
+  std::string Module;
+  uint32_t Size = 0;
+  uint32_t Align = 1;
+  /// Sorted by Offset on registration.
+  std::vector<FieldDesc> Fields;
+
+  /// Sum of declared field sizes (no padding).
+  uint32_t fieldBytes() const;
+  /// Size - fieldBytes(): internal holes plus tail padding.
+  uint32_t paddingBytes() const;
+  /// Index of the field covering byte \p Offset, or -1 if the byte is
+  /// padding / out of range.
+  int fieldAt(uint32_t Offset) const;
+};
+
+//===----------------------------------------------------------------------===//
+// Type-name helper
+//===----------------------------------------------------------------------===//
+
+template <typename T> constexpr const char *scalarTypeName() {
+  using U = std::remove_cv_t<T>;
+  if constexpr (std::is_pointer_v<U>)
+    return "ptr";
+  else if constexpr (std::is_enum_v<U>)
+    return sizeof(U) == 1   ? "enum8"
+           : sizeof(U) == 2 ? "enum16"
+           : sizeof(U) == 4 ? "enum32"
+                            : "enum64";
+  else if constexpr (std::is_same_v<U, bool>)
+    return "bool";
+  else if constexpr (std::is_same_v<U, float>)
+    return "f32";
+  else if constexpr (std::is_same_v<U, double>)
+    return "f64";
+  else if constexpr (std::is_integral_v<U> && std::is_signed_v<U>)
+    return sizeof(U) == 1   ? "i8"
+           : sizeof(U) == 2 ? "i16"
+           : sizeof(U) == 4 ? "i32"
+                            : "i64";
+  else if constexpr (std::is_integral_v<U>)
+    return sizeof(U) == 1   ? "u8"
+           : sizeof(U) == 2 ? "u16"
+           : sizeof(U) == 4 ? "u32"
+                            : "u64";
+  else
+    return "struct";
+}
+
+/// Builds a FieldDesc for a field of declared type \p T at \p Offset.
+/// Array fields record the element type plus a "[N]" suffix.
+template <typename T>
+FieldDesc makeField(const char *Name, size_t Offset) {
+  FieldDesc F;
+  F.Name = Name;
+  F.Offset = static_cast<uint32_t>(Offset);
+  F.Size = static_cast<uint32_t>(sizeof(T));
+  F.Align = static_cast<uint32_t>(alignof(T));
+  if constexpr (std::is_array_v<T>) {
+    using Elem = std::remove_extent_t<T>;
+    F.ElemCount = static_cast<uint32_t>(std::extent_v<T>);
+    F.IsPointer = std::is_pointer_v<std::remove_cv_t<Elem>>;
+    F.TypeName =
+        std::string(scalarTypeName<Elem>()) + "[" +
+        std::to_string(F.ElemCount) + "]";
+  } else {
+    F.IsPointer = std::is_pointer_v<std::remove_cv_t<T>>;
+    F.TypeName = scalarTypeName<T>();
+  }
+  return F;
+}
+
+//===----------------------------------------------------------------------===//
+// TypeRegistry
+//===----------------------------------------------------------------------===//
+
+/// Process-wide registry of reflected types. Thread-safe; ids are dense
+/// and stable for the life of the process. Deduplicated by type name:
+/// the first registration wins (reflect functions are idempotent).
+class TypeRegistry {
+public:
+  static TypeRegistry &global();
+
+  /// Registers \p Desc (fields get sorted by offset) and returns its id.
+  /// A type with the same Name is not re-registered; the existing id is
+  /// returned.
+  uint32_t add(TypeDesc Desc);
+
+  /// Id for \p Name, or -1 if not registered.
+  int idOf(std::string_view Name) const;
+
+  /// Descriptor lookup by name; null if not registered. The pointer is
+  /// stable (registry never erases).
+  const TypeDesc *find(std::string_view Name) const;
+
+  const TypeDesc &type(uint32_t Id) const;
+
+  size_t typeCount() const;
+
+  /// Snapshot of all descriptors, sorted by (Module, Name).
+  std::vector<const TypeDesc *> all() const;
+
+  /// Testing hook: drops every registered type.
+  void clearForTest();
+
+private:
+  struct State;
+  State &state() const;
+};
+
+} // namespace ccl::reflect
+
+//===----------------------------------------------------------------------===//
+// CCL_REFLECT(ModuleLiteral, Type, fields...)
+//
+// Expands to TypeRegistry::global().add(...) over up to 24 named fields
+// and evaluates to the registered type id.
+//===----------------------------------------------------------------------===//
+
+#define CCL_FIELD(Type, Field)                                                 \
+  ::ccl::reflect::makeField<decltype(Type::Field)>(#Field,                     \
+                                                   offsetof(Type, Field))
+
+#define CCL_RF_1(T, a) CCL_FIELD(T, a)
+#define CCL_RF_2(T, a, ...) CCL_FIELD(T, a), CCL_RF_1(T, __VA_ARGS__)
+#define CCL_RF_3(T, a, ...) CCL_FIELD(T, a), CCL_RF_2(T, __VA_ARGS__)
+#define CCL_RF_4(T, a, ...) CCL_FIELD(T, a), CCL_RF_3(T, __VA_ARGS__)
+#define CCL_RF_5(T, a, ...) CCL_FIELD(T, a), CCL_RF_4(T, __VA_ARGS__)
+#define CCL_RF_6(T, a, ...) CCL_FIELD(T, a), CCL_RF_5(T, __VA_ARGS__)
+#define CCL_RF_7(T, a, ...) CCL_FIELD(T, a), CCL_RF_6(T, __VA_ARGS__)
+#define CCL_RF_8(T, a, ...) CCL_FIELD(T, a), CCL_RF_7(T, __VA_ARGS__)
+#define CCL_RF_9(T, a, ...) CCL_FIELD(T, a), CCL_RF_8(T, __VA_ARGS__)
+#define CCL_RF_10(T, a, ...) CCL_FIELD(T, a), CCL_RF_9(T, __VA_ARGS__)
+#define CCL_RF_11(T, a, ...) CCL_FIELD(T, a), CCL_RF_10(T, __VA_ARGS__)
+#define CCL_RF_12(T, a, ...) CCL_FIELD(T, a), CCL_RF_11(T, __VA_ARGS__)
+#define CCL_RF_13(T, a, ...) CCL_FIELD(T, a), CCL_RF_12(T, __VA_ARGS__)
+#define CCL_RF_14(T, a, ...) CCL_FIELD(T, a), CCL_RF_13(T, __VA_ARGS__)
+#define CCL_RF_15(T, a, ...) CCL_FIELD(T, a), CCL_RF_14(T, __VA_ARGS__)
+#define CCL_RF_16(T, a, ...) CCL_FIELD(T, a), CCL_RF_15(T, __VA_ARGS__)
+#define CCL_RF_17(T, a, ...) CCL_FIELD(T, a), CCL_RF_16(T, __VA_ARGS__)
+#define CCL_RF_18(T, a, ...) CCL_FIELD(T, a), CCL_RF_17(T, __VA_ARGS__)
+#define CCL_RF_19(T, a, ...) CCL_FIELD(T, a), CCL_RF_18(T, __VA_ARGS__)
+#define CCL_RF_20(T, a, ...) CCL_FIELD(T, a), CCL_RF_19(T, __VA_ARGS__)
+#define CCL_RF_21(T, a, ...) CCL_FIELD(T, a), CCL_RF_20(T, __VA_ARGS__)
+#define CCL_RF_22(T, a, ...) CCL_FIELD(T, a), CCL_RF_21(T, __VA_ARGS__)
+#define CCL_RF_23(T, a, ...) CCL_FIELD(T, a), CCL_RF_22(T, __VA_ARGS__)
+#define CCL_RF_24(T, a, ...) CCL_FIELD(T, a), CCL_RF_23(T, __VA_ARGS__)
+
+#define CCL_RF_GET25(a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, a11, a12, a13,   \
+                     a14, a15, a16, a17, a18, a19, a20, a21, a22, a23, a24, N, \
+                     ...)                                                      \
+  N
+#define CCL_RF_COUNT(...)                                                      \
+  CCL_RF_GET25(__VA_ARGS__, 24, 23, 22, 21, 20, 19, 18, 17, 16, 15, 14, 13,   \
+               12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1)
+#define CCL_RF_CONCAT2(a, b) a##b
+#define CCL_RF_CONCAT(a, b) CCL_RF_CONCAT2(a, b)
+#define CCL_RF_DISPATCH(T, ...)                                                \
+  CCL_RF_CONCAT(CCL_RF_, CCL_RF_COUNT(__VA_ARGS__))(T, __VA_ARGS__)
+
+/// Registers \p Type with the global TypeRegistry under \p Module (a
+/// string literal). Lists 1..24 fields; evaluates to the type id.
+#define CCL_REFLECT(Module, Type, ...)                                         \
+  ::ccl::reflect::TypeRegistry::global().add(::ccl::reflect::TypeDesc{         \
+      #Type, Module, static_cast<uint32_t>(sizeof(Type)),                      \
+      static_cast<uint32_t>(alignof(Type)),                                    \
+      {CCL_RF_DISPATCH(Type, __VA_ARGS__)}})
+
+#endif // CCL_SUPPORT_REFLECT_H

@@ -7,6 +7,7 @@
 #include "support/SweepRunner.h"
 
 #include "support/Metrics.h"
+#include "support/ThreadSafety.h"
 
 #include <algorithm>
 #include <atomic>
@@ -44,6 +45,36 @@ thread_local unsigned CurrentWorkerId = 0;
 struct CellDepthScope {
   CellDepthScope() { ++SweepCellDepth; }
   ~CellDepthScope() { --SweepCellDepth; }
+};
+
+/// First-exception capture shared by the workers of one run. The Armed
+/// flag is the workers' cheap should-I-stop probe; the exception_ptr
+/// itself is mutex-guarded so the first-writer-wins protocol is visible
+/// to the thread-safety analysis.
+class ErrorSlot {
+public:
+  /// Records the in-flight exception if none was recorded yet.
+  void capture() CCL_EXCLUDES(M) {
+    MutexLock Lock(M);
+    if (!First)
+      First = std::current_exception();
+    Armed.store(true, std::memory_order_relaxed);
+  }
+
+  /// Workers poll this to bail out early after any failure.
+  bool armed() const { return Armed.load(std::memory_order_relaxed); }
+
+  /// Rethrows the first captured exception, if any. Call after join().
+  void rethrow() CCL_EXCLUDES(M) {
+    MutexLock Lock(M);
+    if (First)
+      std::rethrow_exception(First);
+  }
+
+private:
+  ccl::Mutex M;
+  std::exception_ptr First CCL_GUARDED_BY(M);
+  std::atomic<bool> Armed{false};
 };
 } // namespace
 
@@ -89,13 +120,12 @@ void SweepRunner::run(size_t Cells,
   // leave workers idle; dynamic claiming keeps everyone busy until the
   // grid drains.
   std::atomic<size_t> NextCell{0};
-  std::exception_ptr FirstError;
-  std::atomic<bool> HasError{false};
+  ErrorSlot Error;
   auto Worker = [&] {
     CellDepthScope InCell;
     for (;;) {
       size_t First = NextCell.fetch_add(Chunk, std::memory_order_relaxed);
-      if (First >= Cells || HasError.load(std::memory_order_relaxed))
+      if (First >= Cells || Error.armed())
         return;
       metrics::add(M.Claims);
       metrics::record(M.QueueDepth, Cells - First);
@@ -104,8 +134,7 @@ void SweepRunner::run(size_t Cells,
         for (size_t I = First; I < Last; ++I)
           Cell(I);
       } catch (...) {
-        if (!HasError.exchange(true))
-          FirstError = std::current_exception();
+        Error.capture();
         return;
       }
     }
@@ -121,8 +150,7 @@ void SweepRunner::run(size_t Cells,
   Worker();
   for (std::thread &T : Pool)
     T.join();
-  if (HasError.load())
-    std::rethrow_exception(FirstError);
+  Error.rethrow();
 }
 
 void SweepRunner::runPhases(size_t Cells1,
@@ -151,13 +179,12 @@ void SweepRunner::runPhases(size_t Cells1,
   }
 
   std::atomic<size_t> Cursor1{0}, Cursor2{0};
-  std::exception_ptr FirstError;
-  std::atomic<bool> HasError{false};
+  ErrorSlot Error;
   auto Drain = [&](std::atomic<size_t> &Cursor, size_t Cells,
                    const std::function<void(size_t)> &Cell) {
     for (;;) {
       size_t First = Cursor.fetch_add(Chunk, std::memory_order_relaxed);
-      if (First >= Cells || HasError.load(std::memory_order_relaxed))
+      if (First >= Cells || Error.armed())
         return;
       metrics::add(M.Claims);
       metrics::record(M.QueueDepth, Cells - First);
@@ -166,8 +193,7 @@ void SweepRunner::runPhases(size_t Cells1,
         for (size_t I = First; I < Last; ++I)
           Cell(I);
       } catch (...) {
-        if (!HasError.exchange(true))
-          FirstError = std::current_exception();
+        Error.capture();
         return;
       }
     }
@@ -194,6 +220,5 @@ void SweepRunner::runPhases(size_t Cells1,
   Worker();
   for (std::thread &T : Pool)
     T.join();
-  if (HasError.load())
-    std::rethrow_exception(FirstError);
+  Error.rethrow();
 }

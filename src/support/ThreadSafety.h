@@ -1,0 +1,86 @@
+//===- support/ThreadSafety.h - Clang TSA annotation macros ----*- C++ -*-===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Clang thread-safety-analysis annotation macros, plus an annotated
+/// mutex wrapper. Under clang with -Wthread-safety (the clang-tsa
+/// configure preset) the annotations are statically checked; under gcc
+/// (the default toolchain here) every macro expands to nothing and
+/// ccl::Mutex is exactly std::mutex.
+///
+/// std::mutex itself is not annotated as a capability by libstdc++, so
+/// code that wants checking uses ccl::Mutex + ccl::MutexLock. Both are
+/// zero-overhead shims over std::mutex / std::lock_guard.
+///
+/// Annotation cheat sheet:
+///   CCL_GUARDED_BY(m)    data member requires m held to read or write
+///   CCL_PT_GUARDED_BY(m) pointee requires m held (the pointer itself
+///                        does not)
+///   CCL_REQUIRES(m)      function requires caller to hold m
+///   CCL_EXCLUDES(m)      function must be entered with m NOT held
+///   CCL_ACQUIRE/RELEASE  function acquires/releases m itself
+///   CCL_NO_TSA           opt a function out (with a reason comment!)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCL_SUPPORT_THREADSAFETY_H
+#define CCL_SUPPORT_THREADSAFETY_H
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CCL_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef CCL_TSA
+#define CCL_TSA(x) // expands to nothing under gcc / old clang
+#endif
+
+#define CCL_CAPABILITY(name) CCL_TSA(capability(name))
+#define CCL_SCOPED_CAPABILITY CCL_TSA(scoped_lockable)
+#define CCL_GUARDED_BY(x) CCL_TSA(guarded_by(x))
+#define CCL_PT_GUARDED_BY(x) CCL_TSA(pt_guarded_by(x))
+#define CCL_REQUIRES(...) CCL_TSA(requires_capability(__VA_ARGS__))
+#define CCL_ACQUIRE(...) CCL_TSA(acquire_capability(__VA_ARGS__))
+#define CCL_RELEASE(...) CCL_TSA(release_capability(__VA_ARGS__))
+#define CCL_TRY_ACQUIRE(ok, ...)                                               \
+  CCL_TSA(try_acquire_capability(ok, __VA_ARGS__))
+#define CCL_EXCLUDES(...) CCL_TSA(locks_excluded(__VA_ARGS__))
+#define CCL_RETURN_CAPABILITY(x) CCL_TSA(lock_returned(x))
+#define CCL_NO_TSA CCL_TSA(no_thread_safety_analysis)
+
+namespace ccl {
+
+/// std::mutex with the capability attribute, so members can be
+/// CCL_GUARDED_BY it and the analysis tracks acquire/release.
+class CCL_CAPABILITY("mutex") Mutex {
+public:
+  void lock() CCL_ACQUIRE() { M.lock(); }
+  void unlock() CCL_RELEASE() { M.unlock(); }
+  bool try_lock() CCL_TRY_ACQUIRE(true) { return M.try_lock(); }
+
+private:
+  std::mutex M;
+};
+
+/// RAII lock over ccl::Mutex, annotated so the analysis knows the
+/// capability is held for the scope (std::lock_guard is not annotated).
+class CCL_SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex &M) CCL_ACQUIRE(M) : M(M) { M.lock(); }
+  ~MutexLock() CCL_RELEASE() { M.unlock(); }
+
+  MutexLock(const MutexLock &) = delete;
+  MutexLock &operator=(const MutexLock &) = delete;
+
+private:
+  Mutex &M;
+};
+
+} // namespace ccl
+
+#endif // CCL_SUPPORT_THREADSAFETY_H

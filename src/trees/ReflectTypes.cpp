@@ -1,0 +1,22 @@
+//===- trees/ReflectTypes.cpp - Layout reflection for tree nodes ----------===//
+//
+// Part of the cache-conscious structure layout library (PLDI'99 repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trees/BTree.h"
+#include "trees/BinaryTree.h"
+#include "trees/CompactTree.h"
+
+#include "support/Reflect.h"
+
+namespace ccl::trees {
+
+void reflectTreeTypes() {
+  CCL_REFLECT("trees", BstNode, Key, Value, Left, Right);
+  CCL_REFLECT("trees", BTreeNode, Count, Leaf, Pad, Keys, Kids);
+  CCL_REFLECT("trees", CompactBstNode, Key, Value, Left, Right);
+  CCL_REFLECT("trees", CompactBTreeNode, Count, Leaf, Keys, Values, Kids, Pad);
+}
+
+} // namespace ccl::trees

@@ -33,11 +33,13 @@
 #include "obs/Attribution.h"
 #include "obs/BenchReader.h"
 #include "obs/Export.h"
+#include "obs/FieldProfile.h"
 #include "obs/MetricsExport.h"
 #include "obs/Region.h"
 #include "obs/TraceReader.h"
 #include "support/TablePrinter.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -57,7 +59,9 @@ int usage(const char *Prog) {
       "       %s --bench <bench.json | ->\n"
       "Renders a ccl-trace-v1/v2 JSONL dump (see TraceSink) as a profile.\n"
       "ccl-metrics-v1 dumps (bench --metrics) are auto-detected and\n"
-      "render the runtime-metrics report instead.\n"
+      "render the runtime-metrics report instead; ccl-fields-v1 dumps\n"
+      "(ccllint --fields-out, fig5 --fields) render the per-field\n"
+      "affinity table.\n"
       "  --json <path>    write ccl-profile-v1 JSON ('-' = stdout)\n"
       "                   (metrics input: ccl-metrics-summary-v1)\n"
       "  --csv <path>     write the per-region profile as CSV\n"
@@ -174,6 +178,48 @@ int printBenchDivergence(const std::string &Path) {
               "host, so expect systematic offsets):\n");
   Table.print();
   return 0;
+}
+
+/// Per-type field-affinity tables from a ccl-fields-v1 dump (as written
+/// by `ccllint --fields-out` / `fig5_tree_microbenchmark --fields`).
+/// The "refs/visit" column normalizes per element against the hottest
+/// field so hot/cold structure is visible at a glance.
+void printFieldsReport(const FieldsDoc &Doc) {
+  for (const FieldsTypeDoc &T : Doc.Types) {
+    std::printf("%s::%s: %u B (align %u), %s objects, %s attributed "
+                "accesses\n",
+                T.Module.c_str(), T.Name.c_str(), T.Size, T.Align,
+                TablePrinter::fmtInt(T.Objects).c_str(),
+                TablePrinter::fmtInt(T.Accesses).c_str());
+    if (T.PaddingBytesTouched)
+      std::printf("  (%s bytes landed in padding holes)\n",
+                  TablePrinter::fmtInt(T.PaddingBytesTouched).c_str());
+    // Per-element visit normalizer: the hottest field's refs per
+    // element (same convention as ccl-lint's affinity model).
+    double Visits = 0;
+    for (const FieldsFieldDoc &F : T.Fields)
+      Visits = std::max(Visits, double(F.Counters.refs()) /
+                                    std::max(1u, F.ElemCount));
+    TablePrinter Table({"field", "off", "size", "reads", "writes",
+                        "L1 miss", "L2 miss", "bytes/ref", "refs/visit"});
+    for (const FieldsFieldDoc &F : T.Fields) {
+      uint64_t Refs = F.Counters.refs();
+      Table.addRow(
+          {F.Name, TablePrinter::fmtInt(F.Offset),
+           TablePrinter::fmtInt(F.Size),
+           TablePrinter::fmtInt(F.Counters.Reads),
+           TablePrinter::fmtInt(F.Counters.Writes),
+           TablePrinter::fmtInt(F.Counters.L1Misses),
+           TablePrinter::fmtInt(F.Counters.L2Misses),
+           Refs ? TablePrinter::fmt(double(F.Counters.BytesAccessed) / Refs,
+                                    1)
+                : std::string("-"),
+           Visits > 0 ? TablePrinter::fmt(double(Refs) / Visits, 3)
+                      : std::string("-")});
+    }
+    Table.print();
+    std::printf("\n");
+  }
 }
 
 std::FILE *openOut(const std::string &Path) {
@@ -310,6 +356,38 @@ int main(int Argc, char **Argv) {
   // fed to whichever reader wins.
   std::string FirstLine;
   bool HasFirst = readLine(In, FirstLine);
+  if (HasFirst && FirstLine.find("\"ccl-fields-v1\"") != std::string::npos) {
+    FieldsDoc Doc;
+    long Parsed = parseFieldsLine(FirstLine, Doc) ? 1 : 0;
+    std::string Line;
+    while (readLine(In, Line))
+      if (parseFieldsLine(Line, Doc))
+        ++Parsed;
+    if (In != stdin)
+      std::fclose(In);
+    if (Parsed <= 0 || Doc.Types.empty()) {
+      std::fprintf(stderr, "cclstat: no parseable records in %s\n",
+                   TracePath.c_str());
+      return 1;
+    }
+    if (!Quiet) {
+      std::printf("%s: %ld field-profile records", TracePath.c_str(),
+                  Parsed);
+      if (!Doc.Binary.empty())
+        std::printf(" from %s (%s)", Doc.Binary.c_str(), Doc.Git.c_str());
+      std::printf("\n");
+      if (Doc.Attributed + Doc.Unattributed > 0)
+        std::printf("attributed %s / unattributed %s events\n",
+                    TablePrinter::fmtInt(Doc.Attributed).c_str(),
+                    TablePrinter::fmtInt(Doc.Unattributed).c_str());
+      std::printf("\n");
+      printFieldsReport(Doc);
+    }
+    if (!JsonPath.empty() || !CsvPath.empty() || !ChromePath.empty())
+      std::fprintf(stderr, "cclstat: --json/--csv/--chrome are not "
+                           "supported for field-profile dumps\n");
+    return 0;
+  }
   if (HasFirst && FirstLine.find("\"ccl-metrics-v1\"") != std::string::npos) {
     MetricsDoc Doc;
     long Parsed = parseMetricsLine(FirstLine, Doc) ? 1 : 0;
